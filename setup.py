@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-use-pep517`` works in offline environments without the
+``wheel`` package (editable installs then go through ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,197 @@
+"""Expansion of collectives into per-step point-to-point transfer schedules.
+
+The flow-level simulator can either charge a collective its analytic
+alpha–beta time (fast, used for large sweeps) or expand it into the individual
+point-to-point transfers of the underlying algorithm and simulate those as
+flows (used when link sharing between concurrent collectives matters).  This
+module provides the expansion machinery shared by the ring, tree, and AllToAll
+algorithms.
+
+A schedule is a list of :class:`TransferStep` objects; each step is a set of
+:class:`Transfer` objects that may proceed concurrently, and a step only starts
+after every transfer of the previous step completed (the synchronous-algorithm
+approximation used by most collective simulators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .primitives import CollectiveOp, CollectiveType
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A single point-to-point transfer: ``size_bytes`` from ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ConfigurationError("transfer endpoints must differ")
+        if self.size_bytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+
+
+@dataclass(frozen=True)
+class TransferStep:
+    """A set of transfers that proceed concurrently in one algorithm step."""
+
+    transfers: Tuple[Transfer, ...]
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes moved in this step."""
+        return sum(t.size_bytes for t in self.transfers)
+
+
+Schedule = List[TransferStep]
+
+
+def ring_schedule(op: CollectiveOp) -> Schedule:
+    """Expand ``op`` into the standard ring-algorithm transfer schedule.
+
+    The ring order is the order of ``op.group``.  Each rank sends chunks of
+    ``size / n`` bytes to its successor; AllReduce performs a reduce-scatter
+    pass followed by an all-gather pass (2(n-1) steps), AllGather and
+    ReduceScatter perform n-1 steps each.
+    """
+    ranks = list(op.group)
+    n = len(ranks)
+    if n <= 1:
+        return []
+    if op.collective == CollectiveType.SEND_RECV:
+        return [TransferStep((Transfer(ranks[0], ranks[1], op.size_bytes),))]
+    if op.collective == CollectiveType.BARRIER:
+        return [
+            TransferStep(
+                tuple(
+                    Transfer(ranks[i], ranks[(i + 1) % n], 0.0) for i in range(n)
+                )
+            )
+        ]
+    chunk = op.size_bytes / n
+    if op.collective == CollectiveType.ALL_REDUCE:
+        num_steps = 2 * (n - 1)
+    elif op.collective in (
+        CollectiveType.ALL_GATHER,
+        CollectiveType.REDUCE_SCATTER,
+        CollectiveType.ALL_TO_ALL,
+        CollectiveType.BROADCAST,
+        CollectiveType.REDUCE,
+    ):
+        num_steps = n - 1
+    else:
+        raise ConfigurationError(f"unknown collective {op.collective!r}")
+
+    if op.collective == CollectiveType.ALL_GATHER:
+        # Each rank circulates its full shard: per-step chunk is size_bytes.
+        chunk = op.size_bytes
+    if op.collective in (CollectiveType.BROADCAST, CollectiveType.REDUCE):
+        chunk = op.size_bytes
+
+    schedule: Schedule = []
+    for _ in range(num_steps):
+        transfers = tuple(
+            Transfer(ranks[i], ranks[(i + 1) % n], chunk) for i in range(n)
+        )
+        schedule.append(TransferStep(transfers))
+    return schedule
+
+
+def direct_alltoall_schedule(op: CollectiveOp) -> Schedule:
+    """Expand an AllToAll into ``n-1`` pairwise-exchange steps (direct algorithm).
+
+    In step ``s`` every rank ``i`` sends its ``(i ^ s)``-th chunk-equivalent to
+    rank ``(i + s) mod n`` — we use the rotation (linear shift) pattern, which
+    keeps every step a perfect matching so the degree requirement is 1 per
+    step but ``n-1`` distinct neighbors overall (paper constraint C1: not
+    implementable on a static ring without forwarding).
+    """
+    if op.collective != CollectiveType.ALL_TO_ALL:
+        raise ConfigurationError("direct_alltoall_schedule only handles AllToAll")
+    ranks = list(op.group)
+    n = len(ranks)
+    if n <= 1:
+        return []
+    chunk = op.size_bytes / n
+    schedule: Schedule = []
+    for shift in range(1, n):
+        transfers = tuple(
+            Transfer(ranks[i], ranks[(i + shift) % n], chunk) for i in range(n)
+        )
+        schedule.append(TransferStep(transfers))
+    return schedule
+
+
+def tree_schedule(op: CollectiveOp) -> Schedule:
+    """Expand ``op`` into a recursive-doubling/halving schedule (log2(n) steps).
+
+    Only defined for power-of-two group sizes; callers on the electrical
+    baseline fall back to :func:`ring_schedule` otherwise.  Provided to back
+    the C1 discussion — these schedules require a node degree of log2(n)
+    distinct neighbors over the course of the algorithm.
+    """
+    ranks = list(op.group)
+    n = len(ranks)
+    if n <= 1:
+        return []
+    if n & (n - 1):
+        raise ConfigurationError("tree_schedule requires a power-of-two group size")
+    if op.collective == CollectiveType.ALL_REDUCE:
+        per_step_bytes = op.size_bytes
+        num_rounds = n.bit_length() - 1
+    elif op.collective in (CollectiveType.ALL_GATHER, CollectiveType.REDUCE_SCATTER):
+        per_step_bytes = op.size_bytes / 2.0
+        num_rounds = n.bit_length() - 1
+    else:
+        raise ConfigurationError(
+            f"tree_schedule does not handle {op.collective!r}; use ring_schedule"
+        )
+    schedule: Schedule = []
+    for round_index in range(num_rounds):
+        distance = 1 << round_index
+        transfers = []
+        for i in range(n):
+            peer = i ^ distance
+            transfers.append(Transfer(ranks[i], ranks[peer], per_step_bytes))
+        schedule.append(TransferStep(tuple(transfers)))
+    return schedule
+
+
+def expand(op: CollectiveOp, prefer_tree: bool = False) -> Schedule:
+    """Expand ``op`` with the appropriate algorithm.
+
+    ``prefer_tree=True`` picks the latency-optimized schedule when the group
+    size is a power of two (electrical rails only); otherwise the ring
+    schedule is used, and AllToAll always uses the direct pairwise schedule.
+    """
+    if op.collective == CollectiveType.ALL_TO_ALL:
+        return direct_alltoall_schedule(op)
+    if prefer_tree and op.group_size >= 2 and not (op.group_size & (op.group_size - 1)):
+        if op.collective in (
+            CollectiveType.ALL_REDUCE,
+            CollectiveType.ALL_GATHER,
+            CollectiveType.REDUCE_SCATTER,
+        ):
+            return tree_schedule(op)
+    return ring_schedule(op)
+
+
+def distinct_neighbors(schedule: Schedule, rank: int) -> int:
+    """Number of distinct peers ``rank`` exchanges data with across a schedule.
+
+    This is the degree requirement the paper's C1/C2 constraints are about.
+    """
+    peers = set()
+    for step in schedule:
+        for transfer in step.transfers:
+            if transfer.src == rank:
+                peers.add(transfer.dst)
+            elif transfer.dst == rank:
+                peers.add(transfer.src)
+    return len(peers)

@@ -1,0 +1,193 @@
+"""Circuit planning: from communication groups to per-rail circuit configurations.
+
+The Opus controller keeps a *circuit lookup table* (paper Fig. 6): for every
+communication group (and, coalesced, for every parallelism axis) it knows
+which circuits each rail's OCS must provide.  The :class:`CircuitPlanner`
+builds and caches these configurations:
+
+* **ring collectives** (AllReduce, AllGather, ReduceScatter, AllToAll-over-
+  ring) need a ring over the scale-up domains of the group's members — a
+  single duplex circuit for two-member groups, a full ring (two NIC ports per
+  GPU) for larger groups;
+* **Send/Recv** (pipeline parallelism) needs point-to-point circuits between
+  adjacent stages; the per-axis coalesced configuration is the whole pipeline
+  chain;
+* the **per-axis configuration** of a rail is the union of the configurations
+  of all groups of that axis that touch the rail.  When that union is not
+  installable within the NIC's port budget (constraint C2/C3) the planner
+  reports it as non-coalescable and the controller falls back to per-group
+  reconfiguration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..collectives.primitives import CollectiveOp, CollectiveType
+from ..errors import CircuitConflictError, ConfigurationError, ControlPlaneError
+from ..parallelism.groups import CommunicationGroup, GroupRegistry
+from ..parallelism.mesh import DeviceMesh
+from ..topology.ocs import Circuit, CircuitConfiguration
+from ..topology.photonic import PhotonicRailFabric, RailEndpoint
+
+
+@dataclass(frozen=True)
+class RailConfiguration:
+    """The circuits one logical demand needs on every rail it touches."""
+
+    per_rail: Mapping[int, CircuitConfiguration]
+
+    def rails(self) -> Tuple[int, ...]:
+        """Rails with at least one circuit."""
+        return tuple(sorted(self.per_rail))
+
+    def configuration(self, rail: int) -> CircuitConfiguration:
+        """The circuits needed on ``rail`` (empty if the rail is untouched)."""
+        return self.per_rail.get(rail, CircuitConfiguration(()))
+
+    def num_circuits(self) -> int:
+        """Total circuits across all rails."""
+        return sum(len(cfg) for cfg in self.per_rail.values())
+
+
+class CircuitPlanner:
+    """Builds and caches circuit configurations for groups and axes."""
+
+    def __init__(
+        self,
+        fabric: PhotonicRailFabric,
+        mesh: DeviceMesh,
+        registry: Optional[GroupRegistry] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.mesh = mesh
+        self.registry = registry or GroupRegistry(mesh)
+        self.ports_per_gpu = fabric.cluster.nic_port_config.num_ports
+        self._group_cache: Dict[FrozenSet[int], RailConfiguration] = {}
+        self._axis_cache: Dict[str, Optional[Dict[int, CircuitConfiguration]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Per-group configurations
+    # ------------------------------------------------------------------ #
+
+    def configuration_for_group(
+        self, ranks: Sequence[int], chain: bool = False
+    ) -> RailConfiguration:
+        """Circuits needed by one communication group.
+
+        Parameters
+        ----------
+        ranks:
+            Member ranks in ring / pipeline order.
+        chain:
+            Build an open chain (pipeline) instead of a closed ring; the
+            closing circuit is dropped, which saves one port pair on the two
+            end domains.
+        """
+        key = frozenset(ranks)
+        cache_key = key if not chain else frozenset(list(key) + [-1])
+        if cache_key in self._group_cache:
+            return self._group_cache[cache_key]
+
+        per_rail: Dict[int, CircuitConfiguration] = {}
+        if self.mesh.is_scaleout_group(ranks):
+            rails = self.mesh.rails_of_group(ranks)
+            for rail in rails:
+                members = [r for r in ranks if self.mesh.rail_of(r) == rail]
+                domains = [self.mesh.domain_of(r) for r in members]
+                per_rail[rail] = self._rail_circuits(rail, domains, chain=chain)
+        configuration = RailConfiguration(per_rail=per_rail)
+        self._group_cache[cache_key] = configuration
+        return configuration
+
+    def configuration_for_op(self, op: CollectiveOp) -> RailConfiguration:
+        """Circuits needed to serve one collective operation."""
+        chain = op.collective == CollectiveType.SEND_RECV
+        return self.configuration_for_group(op.group, chain=chain)
+
+    def _rail_circuits(
+        self, rail: int, domains: Sequence[int], chain: bool
+    ) -> CircuitConfiguration:
+        photonic_rail = self.fabric.rail(rail)
+        unique = list(dict.fromkeys(domains))
+        if len(unique) < 2:
+            return CircuitConfiguration(())
+        if len(unique) == 2:
+            circuit = photonic_rail.circuit_between(
+                RailEndpoint(unique[0], 0), RailEndpoint(unique[1], 0)
+            )
+            return CircuitConfiguration((circuit,))
+        if self.ports_per_gpu < 2:
+            raise ControlPlaneError(
+                f"a group spanning {len(unique)} domains needs two NIC ports per "
+                f"GPU for a ring/chain on rail {rail}, but the NIC is in "
+                f"{self.ports_per_gpu}-port configuration (constraints C1/C3)"
+            )
+        circuits: List[Circuit] = []
+        last = len(unique) - 1
+        for index, domain in enumerate(unique):
+            if chain and index == last:
+                break
+            next_domain = unique[(index + 1) % len(unique)]
+            circuits.append(
+                photonic_rail.circuit_between(
+                    RailEndpoint(domain, 1), RailEndpoint(next_domain, 0)
+                )
+            )
+        return CircuitConfiguration(circuits)
+
+    # ------------------------------------------------------------------ #
+    # Per-axis (coalesced) configurations
+    # ------------------------------------------------------------------ #
+
+    def axis_configuration(self, axis: str) -> Optional[Dict[int, CircuitConfiguration]]:
+        """The coalesced per-rail configuration serving every group of ``axis``.
+
+        Returns ``None`` when the union is not installable within the NIC port
+        budget (the controller then falls back to per-group reconfiguration).
+        """
+        if axis in self._axis_cache:
+            return self._axis_cache[axis]
+        groups = [g for g in self.registry.groups(axis) if g.scaleout]
+        per_rail: Dict[int, CircuitConfiguration] = {}
+        result: Optional[Dict[int, CircuitConfiguration]] = per_rail
+        try:
+            for group in groups:
+                chain = axis == "pp"
+                group_config = self.configuration_for_group(group.ranks, chain=chain)
+                for rail in group_config.rails():
+                    existing = per_rail.get(rail, CircuitConfiguration(()))
+                    per_rail[rail] = existing.union(group_config.configuration(rail))
+        except (CircuitConflictError, ControlPlaneError):
+            result = None
+        self._axis_cache[axis] = result
+        return result
+
+    def coalescable(self, axis: str) -> bool:
+        """Whether all groups of ``axis`` can share one installed configuration."""
+        return self.axis_configuration(axis) is not None
+
+    def target_for_op(self, op: CollectiveOp) -> RailConfiguration:
+        """The configuration the controller should install to serve ``op``.
+
+        Prefers the coalesced per-axis configuration (fewer reconfigurations,
+        Objective 2); falls back to the op's own group configuration when the
+        axis is not coalescable.
+        """
+        axis = op.parallelism
+        if axis:
+            axis_config = self.axis_configuration(axis)
+            if axis_config is not None:
+                rails = self.mesh.rails_of_group(op.group) if self.mesh.is_scaleout_group(op.group) else ()
+                return RailConfiguration(
+                    per_rail={
+                        rail: axis_config[rail] for rail in rails if rail in axis_config
+                    }
+                )
+        return self.configuration_for_op(op)
+
+    def clear_cache(self) -> None:
+        """Drop all cached configurations (used when the job layout changes)."""
+        self._group_cache.clear()
+        self._axis_cache.clear()

@@ -1,0 +1,211 @@
+"""The Opus controller: per-rail circuit state and reconfiguration timing.
+
+The controller is the component of Fig. 6 that "orchestrates each rail's
+OCSes to perform reconfiguration upon receiving requests".  It owns, per rail:
+
+* the installed circuits and the time each becomes usable (a circuit installed
+  by a switching event is usable when the event finishes);
+* the time each installed circuit is busy carrying traffic (a reconfiguration
+  that would tear a busy circuit waits for it to drain — Objective 3);
+* the serialization of switching events on the rail's OCS.
+
+Its single entry point, :meth:`OpusController.ensure`, answers: *given that a
+communication group needs this circuit configuration on this rail, and the
+request was issued at time t, when will the circuits be usable?* — creating a
+switching event if needed.  The same method serves on-demand requests
+(issued when the collective is ready to run) and provisioned requests (issued
+speculatively as soon as the previous phase's traffic finished), which is how
+provisioning hides the switching delay inside the inter-phase window (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import CircuitError, ControlPlaneError
+from ..parallelism.trace import ReconfigRecord
+from ..topology.ocs import Circuit, CircuitConfiguration
+from ..topology.photonic import PhotonicRailFabric
+from .scheduler import FCFSScheduler, ReconfigurationRequest
+
+
+@dataclass
+class RailCircuitState:
+    """Mutable circuit bookkeeping for one rail."""
+
+    rail: int
+    #: Installed circuits and the time each becomes usable.
+    installed: Dict[Circuit, float] = field(default_factory=dict)
+    #: Time until which each installed circuit is busy carrying traffic.
+    busy_until: Dict[Circuit, float] = field(default_factory=dict)
+    #: Time the rail's OCS finishes its latest switching event.
+    switch_free_at: float = 0.0
+    #: Number of switching events performed on this rail.
+    reconfigurations: int = 0
+
+    def conflicts_with(self, circuit: Circuit) -> List[Circuit]:
+        """Installed circuits sharing a port with ``circuit`` (excluding itself)."""
+        result = []
+        for existing in self.installed:
+            if existing == circuit:
+                continue
+            if existing.uses_port(circuit.port_a) or existing.uses_port(circuit.port_b):
+                result.append(existing)
+        return result
+
+
+class OpusController:
+    """Central controller for every rail's OCS of one job."""
+
+    def __init__(
+        self,
+        fabric: PhotonicRailFabric,
+        reconfiguration_delay: Optional[float] = None,
+        scheduler: Optional[FCFSScheduler] = None,
+    ) -> None:
+        """Create a controller.
+
+        Parameters
+        ----------
+        fabric:
+            The photonic rail fabric whose OCSes this controller programs.
+        reconfiguration_delay:
+            Override of the OCS switching time in seconds; defaults to the
+            fabric's OCS technology value.  The Fig. 8 benchmark sweeps this.
+        scheduler:
+            FC-FS request scheduler (a fresh one is created by default).
+        """
+        self.fabric = fabric
+        self.scheduler = scheduler or FCFSScheduler()
+        self._delay_override = reconfiguration_delay
+        self._rails: Dict[int, RailCircuitState] = {
+            rail: RailCircuitState(rail=rail) for rail in fabric.rails
+        }
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def reconfiguration_delay(self, rail: int) -> float:
+        """Switching time of one reconfiguration on ``rail`` in seconds."""
+        if self._delay_override is not None:
+            return self._delay_override
+        return self.fabric.rail(rail).technology.reconfiguration_time
+
+    def rail_state(self, rail: int) -> RailCircuitState:
+        """Return the mutable circuit state of one rail."""
+        if rail not in self._rails:
+            raise ControlPlaneError(f"rail {rail} is not managed by this controller")
+        return self._rails[rail]
+
+    def installed_configuration(self, rail: int) -> CircuitConfiguration:
+        """The circuits currently installed on ``rail`` (controller's view)."""
+        return CircuitConfiguration(tuple(self.rail_state(rail).installed))
+
+    def total_reconfigurations(self) -> int:
+        """Total switching events across all rails since construction."""
+        return sum(state.reconfigurations for state in self._rails.values())
+
+    # ------------------------------------------------------------------ #
+    # Circuit requests
+    # ------------------------------------------------------------------ #
+
+    def ensure(
+        self,
+        rail: int,
+        target: CircuitConfiguration,
+        request: ReconfigurationRequest,
+    ) -> Tuple[float, Optional[ReconfigRecord]]:
+        """Make sure ``target``'s circuits exist on ``rail``.
+
+        Returns ``(ready_time, reconfig_record)`` where ``ready_time`` is when
+        every requested circuit is usable, and ``reconfig_record`` describes
+        the switching event that had to be performed (``None`` if the circuits
+        were already installed).
+        """
+        state = self.rail_state(rail)
+        self.scheduler.submit(request)
+        self.scheduler.next_request()
+
+        missing = [c for c in target.circuits if c not in state.installed]
+        if not missing:
+            if not target.circuits:
+                return request.issue_time, None
+            ready = max(state.installed[c] for c in target.circuits)
+            return max(request.issue_time, ready), None
+
+        # Circuits that must be torn down because they share ports with the
+        # circuits we need to add.
+        to_tear: Dict[Circuit, float] = {}
+        for circuit in missing:
+            for conflicting in state.conflicts_with(circuit):
+                to_tear[conflicting] = state.busy_until.get(conflicting, 0.0)
+
+        drain_time = max(to_tear.values(), default=0.0)
+        start = max(request.issue_time, drain_time, state.switch_free_at)
+        delay = self.reconfiguration_delay(rail)
+        end = start + delay
+
+        for circuit in to_tear:
+            state.installed.pop(circuit, None)
+            state.busy_until.pop(circuit, None)
+        for circuit in missing:
+            state.installed[circuit] = end
+        state.switch_free_at = end
+        state.reconfigurations += 1
+
+        # Mirror the decision onto the fabric's OCS objects so that the
+        # topology view (and any flow-level simulation on top of it) matches
+        # the controller's bookkeeping.
+        self._sync_fabric(rail)
+
+        record = ReconfigRecord(
+            rail=rail,
+            start=start,
+            end=end,
+            provisioned=request.provisioned,
+            blocking=0.0,
+            group_name=request.axis,
+            num_circuits_changed=len(missing) + len(to_tear),
+        )
+        ready = max(end, max(state.installed[c] for c in target.circuits))
+        return ready, record
+
+    def notify_traffic(
+        self, rail: int, circuits: Iterable[Circuit], busy_until: float
+    ) -> None:
+        """Mark circuits as carrying traffic until ``busy_until``.
+
+        A reconfiguration that would tear one of these circuits cannot start
+        before the traffic drains (Objective 3).
+        """
+        state = self.rail_state(rail)
+        for circuit in circuits:
+            if circuit not in state.installed:
+                raise CircuitError(
+                    f"rail {rail}: cannot mark traffic on circuit {circuit} "
+                    "because it is not installed"
+                )
+            state.busy_until[circuit] = max(
+                state.busy_until.get(circuit, 0.0), busy_until
+            )
+
+    def reset(self) -> None:
+        """Tear down every circuit and forget all timing state (new job)."""
+        for rail, state in self._rails.items():
+            state.installed.clear()
+            state.busy_until.clear()
+            state.switch_free_at = 0.0
+            state.reconfigurations = 0
+            self.fabric.clear_rail(rail)
+        self.scheduler.reset()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _sync_fabric(self, rail: int) -> None:
+        state = self.rail_state(rail)
+        configuration = CircuitConfiguration(tuple(state.installed))
+        self.fabric.apply_configuration(rail, configuration)

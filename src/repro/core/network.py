@@ -1,0 +1,107 @@
+"""Photonic-rail network model: the bridge between the simulator and Opus.
+
+This is the :class:`~repro.simulator.network.NetworkModel` implementation the
+DAG executor uses when the scale-out fabric is a photonic rail.  For every
+scale-out collective it consults the :class:`~repro.core.shim.OpusShim`:
+
+* the transfer may only start once the circuits its communication group needs
+  are installed — an on-demand reconfiguration (profiling iteration, or
+  provisioning disabled) exposes the OCS switching delay on the critical path,
+  a provisioned reconfiguration usually completes inside the inter-phase
+  window and exposes little or nothing (Fig. 5);
+* the transfer itself is priced with the same ring alpha–beta model as the
+  electrical baseline (the paper's simulation assumes equal per-port bandwidth
+  for electrical and optical rails);
+* intra-domain collectives use the scale-up interconnect and never touch Opus.
+
+Every reconfiguration performed on behalf of (or speculatively ahead of) a
+collective is returned to the executor and lands in the iteration trace, so
+the Fig. 8 analysis can separate switching time that was hidden from switching
+time that extended the iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..parallelism.dag import Operation
+from ..parallelism.groups import GroupRegistry
+from ..parallelism.mesh import DeviceMesh
+from ..simulator.network import CommTiming, NetworkModel
+from ..topology.devices import ClusterSpec
+from ..topology.photonic import PhotonicRailFabric, build_photonic_rail_fabric
+from .controller import OpusController
+from .shim import OpusShim, ShimOptions
+
+
+class PhotonicRailNetworkModel(NetworkModel):
+    """Scale-out timing model for optical rails under Opus control."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        mesh: DeviceMesh,
+        fabric: Optional[PhotonicRailFabric] = None,
+        reconfiguration_delay: Optional[float] = None,
+        shim_options: Optional[ShimOptions] = None,
+        registry: Optional[GroupRegistry] = None,
+    ) -> None:
+        super().__init__(cluster, mesh)
+        self.fabric = fabric or build_photonic_rail_fabric(cluster)
+        if self.fabric.cluster is not cluster:
+            raise ConfigurationError(
+                "the photonic fabric must be built from the same cluster "
+                "specification as the network model"
+            )
+        self.controller = OpusController(
+            self.fabric, reconfiguration_delay=reconfiguration_delay
+        )
+        self.shim = OpusShim(
+            fabric=self.fabric,
+            mesh=mesh,
+            controller=self.controller,
+            registry=registry,
+            options=shim_options,
+        )
+
+    # ------------------------------------------------------------------ #
+    # NetworkModel interface
+    # ------------------------------------------------------------------ #
+
+    def timing(self, operation: Operation, ready_time: float) -> CommTiming:
+        assert operation.collective is not None
+        duration = self.transfer_duration(operation)
+        if not self.is_scaleout(operation):
+            return CommTiming(start=ready_time, end=ready_time + duration)
+
+        grant = self.shim.request_circuits(operation.collective, ready_time)
+        start = max(ready_time, grant.ready_time)
+        end = start + duration
+        self.shim.notify_transfer(operation.collective, start, end)
+        return CommTiming(start=start, end=end, reconfigs=grant.records)
+
+    def on_comm_end(self, operation: Operation, end_time: float) -> None:
+        assert operation.collective is not None
+        if self.is_scaleout(operation):
+            self.shim.notify_completion(operation.collective, end_time)
+
+    def on_iteration_start(self, iteration: int, time: float) -> None:
+        self.shim.start_iteration(iteration, time)
+
+    def on_iteration_end(self, iteration: int, time: float) -> None:
+        self.shim.end_iteration(iteration, time)
+
+    # ------------------------------------------------------------------ #
+    # Reporting helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_reconfigurations(self) -> int:
+        """Total switching events performed across all rails so far."""
+        return self.controller.total_reconfigurations()
+
+    @property
+    def reconfiguration_delay(self) -> float:
+        """The (possibly overridden) per-event switching delay in seconds."""
+        return self.controller.reconfiguration_delay(next(iter(self.fabric.rails)))

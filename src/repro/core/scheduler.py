@@ -1,0 +1,121 @@
+"""First-come-first-serve (FC-FS) request scheduling for the Opus controller.
+
+The paper argues (§4) that a simple FC-FS policy is sufficient for the
+control plane because rail bandwidth is not shared across jobs and the job's
+framework already defines a sequential ordering of traffic demands.  What the
+policy must guarantee is:
+
+* requests are served in issue order *within a communication-group domain*
+  (a communication kernel issued first by the application is served first);
+* a reconfiguration never disrupts ongoing traffic (it waits for the circuits
+  it would tear down to drain);
+* no control divergence across rails for collectives spanning multiple rails
+  (all rails of one request are handled as a unit).
+
+This module provides the request bookkeeping: an ordered queue with
+per-group-domain FIFO validation.  The actual time arithmetic lives in
+:class:`~repro.core.controller.OpusController`, which consumes requests in the
+order this scheduler releases them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import SchedulingError
+
+_REQUEST_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class ReconfigurationRequest:
+    """One reconfiguration request issued by the shim to the controller."""
+
+    request_id: int
+    group_key: FrozenSet[int]
+    axis: str
+    rails: Tuple[int, ...]
+    issue_time: float
+    provisioned: bool = False
+
+    @staticmethod
+    def create(
+        group_key: FrozenSet[int],
+        axis: str,
+        rails: Tuple[int, ...],
+        issue_time: float,
+        provisioned: bool = False,
+    ) -> "ReconfigurationRequest":
+        """Build a request with a fresh monotonically increasing id."""
+        return ReconfigurationRequest(
+            request_id=next(_REQUEST_COUNTER),
+            group_key=group_key,
+            axis=axis,
+            rails=rails,
+            issue_time=issue_time,
+            provisioned=provisioned,
+        )
+
+
+class FCFSScheduler:
+    """Orders reconfiguration requests first-come-first-serve.
+
+    The scheduler tracks, per communication-group domain (the member-set key),
+    the issue time of the last admitted request and raises
+    :class:`~repro.errors.SchedulingError` if a caller tries to admit requests
+    of the same group out of order — the invariant the paper's Objective 3
+    depends on.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[ReconfigurationRequest] = []
+        self._last_issue_per_group: Dict[FrozenSet[int], float] = {}
+        self._served: List[ReconfigurationRequest] = []
+
+    def submit(self, request: ReconfigurationRequest) -> None:
+        """Admit one request, enforcing per-group FIFO order."""
+        last = self._last_issue_per_group.get(request.group_key)
+        if last is not None and request.issue_time < last:
+            raise SchedulingError(
+                f"request {request.request_id} for group {sorted(request.group_key)} "
+                f"was issued at {request.issue_time:.6f}, before the previously "
+                f"admitted request at {last:.6f} (FC-FS violation)"
+            )
+        self._last_issue_per_group[request.group_key] = request.issue_time
+        self._queue.append(request)
+
+    def next_request(self) -> Optional[ReconfigurationRequest]:
+        """Pop the oldest pending request (by issue time, then id)."""
+        if not self._queue:
+            return None
+        self._queue.sort(key=lambda r: (r.issue_time, r.request_id))
+        request = self._queue.pop(0)
+        self._served.append(request)
+        return request
+
+    def drain(self) -> List[ReconfigurationRequest]:
+        """Pop every pending request in FC-FS order."""
+        drained: List[ReconfigurationRequest] = []
+        while True:
+            request = self.next_request()
+            if request is None:
+                return drained
+            drained.append(request)
+
+    @property
+    def pending(self) -> int:
+        """Number of requests waiting to be served."""
+        return len(self._queue)
+
+    @property
+    def served(self) -> Tuple[ReconfigurationRequest, ...]:
+        """Requests served so far, in service order."""
+        return tuple(self._served)
+
+    def reset(self) -> None:
+        """Clear all scheduler state (new job)."""
+        self._queue.clear()
+        self._last_issue_per_group.clear()
+        self._served.clear()

@@ -1,0 +1,173 @@
+"""High-level facade: simulate a workload on photonic or electrical rails.
+
+:class:`PhotonicRailSystem` bundles the pieces a user otherwise wires by hand
+(cluster, workload DAG, device mesh, fabric, Opus shim/controller, executor)
+behind a small API, and provides the comparison helpers the examples and the
+Fig. 8 benchmark build on:
+
+* :meth:`PhotonicRailSystem.run` — simulate N iterations on the photonic rail;
+* :meth:`PhotonicRailSystem.run_baseline` — the same workload on electrical
+  (fully connected) rails;
+* :func:`reconfiguration_latency_sweep` — the Fig. 8 experiment: normalized
+  iteration time versus OCS switching delay, with and without provisioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..parallelism.config import WorkloadConfig
+from ..parallelism.dag import DagBuildOptions, IterationDAG, build_iteration_dag
+from ..parallelism.groups import GroupRegistry
+from ..parallelism.mesh import DeviceMesh
+from ..parallelism.trace import TrainingTrace
+from ..simulator.executor import DAGExecutor, SimulationConfig
+from ..simulator.network import ElectricalRailNetworkModel
+from ..simulator.metrics import mean_iteration_time
+from ..topology.devices import ClusterSpec
+from ..topology.photonic import build_photonic_rail_fabric
+from .network import PhotonicRailNetworkModel
+from .shim import ShimOptions
+
+
+@dataclass
+class SystemConfig:
+    """Knobs shared by the photonic and baseline simulations."""
+
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    dag_options: DagBuildOptions = field(default_factory=DagBuildOptions)
+    num_iterations: int = 2
+
+
+class PhotonicRailSystem:
+    """One workload on one cluster, simulated end to end."""
+
+    def __init__(
+        self,
+        workload: WorkloadConfig,
+        cluster: ClusterSpec,
+        config: Optional[SystemConfig] = None,
+    ) -> None:
+        if workload.world_size > cluster.num_gpus:
+            raise ConfigurationError(
+                f"workload needs {workload.world_size} GPUs, cluster has "
+                f"{cluster.num_gpus}"
+            )
+        self.workload = workload
+        self.cluster = cluster
+        self.config = config or SystemConfig()
+        self.dag: IterationDAG = build_iteration_dag(
+            workload, cluster, self.config.dag_options
+        )
+        self.mesh: DeviceMesh = self.dag.mesh
+        self.registry = GroupRegistry(self.mesh)
+
+    # ------------------------------------------------------------------ #
+    # Simulations
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        reconfiguration_delay: Optional[float] = None,
+        provisioning: bool = True,
+        num_iterations: Optional[int] = None,
+    ) -> Tuple[TrainingTrace, PhotonicRailNetworkModel]:
+        """Simulate the workload on photonic rails under Opus.
+
+        Parameters
+        ----------
+        reconfiguration_delay:
+            OCS switching delay in seconds (None = the cluster's OCS
+            technology default).
+        provisioning:
+            Enable speculative provisioning after the profiling iteration.
+        num_iterations:
+            Number of iterations to simulate (default from the system config).
+        """
+        fabric = build_photonic_rail_fabric(self.cluster)
+        network = PhotonicRailNetworkModel(
+            cluster=self.cluster,
+            mesh=self.mesh,
+            fabric=fabric,
+            reconfiguration_delay=reconfiguration_delay,
+            shim_options=ShimOptions(provisioning=provisioning),
+            registry=self.registry,
+        )
+        executor = DAGExecutor(
+            self.dag, self.cluster, network, config=self.config.simulation
+        )
+        trace = executor.run_training(num_iterations or self.config.num_iterations)
+        return trace, network
+
+    def run_baseline(
+        self,
+        num_iterations: Optional[int] = None,
+        use_tree_collectives: bool = False,
+    ) -> TrainingTrace:
+        """Simulate the workload on electrical (fully connected) rails."""
+        network = ElectricalRailNetworkModel(
+            self.cluster, self.mesh, use_tree_collectives=use_tree_collectives
+        )
+        executor = DAGExecutor(
+            self.dag, self.cluster, network, config=self.config.simulation
+        )
+        return executor.run_training(num_iterations or self.config.num_iterations)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of the Fig. 8 sweep."""
+
+    reconfiguration_delay: float
+    provisioning: bool
+    iteration_time: float
+    normalized_iteration_time: float
+    reconfigurations_per_iteration: float
+    exposed_reconfig_time: float
+
+
+def reconfiguration_latency_sweep(
+    workload: WorkloadConfig,
+    cluster: ClusterSpec,
+    delays: Sequence[float],
+    num_iterations: int = 3,
+    config: Optional[SystemConfig] = None,
+) -> List[SweepPoint]:
+    """Run the Fig. 8 experiment: iteration time vs reconfiguration latency.
+
+    For every delay in ``delays`` the workload is simulated twice (with and
+    without provisioning); iteration times are normalized to the electrical
+    fully-connected baseline (the paper's "reconfiguration latency 0" case).
+    The profiling iteration is excluded from the averages.
+    """
+    system_config = config or SystemConfig(num_iterations=num_iterations)
+    system_config.num_iterations = num_iterations
+    system = PhotonicRailSystem(workload, cluster, system_config)
+    baseline = system.run_baseline()
+    baseline_time = mean_iteration_time(baseline, skip_first=True)
+
+    points: List[SweepPoint] = []
+    for delay in delays:
+        for provisioning in (False, True):
+            trace, _network = system.run(
+                reconfiguration_delay=delay, provisioning=provisioning
+            )
+            steady = [t for t in trace.iterations][1:] or list(trace.iterations)
+            mean_time = sum(t.iteration_time for t in steady) / len(steady)
+            reconfigs = sum(t.num_reconfigurations() for t in steady) / len(steady)
+            exposed = sum(
+                t.total_reconfiguration_blocking() for t in steady
+            ) / len(steady)
+            points.append(
+                SweepPoint(
+                    reconfiguration_delay=delay,
+                    provisioning=provisioning,
+                    iteration_time=mean_time,
+                    normalized_iteration_time=mean_time / baseline_time,
+                    reconfigurations_per_iteration=reconfigs,
+                    exposed_reconfig_time=exposed,
+                )
+            )
+    return points

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the photonic-rails reproduction.
+
+All library-specific errors derive from :class:`ReproError` so applications can
+catch a single base class.  Sub-classes are grouped by subsystem (configuration,
+topology, circuits, simulation, control plane) so tests and callers can assert
+on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid model, parallelism, or cluster configuration was supplied."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or an operation referenced a missing element."""
+
+
+class CircuitError(ReproError):
+    """An optical circuit operation violated OCS constraints.
+
+    Raised for example when two circuits are requested on the same OCS port,
+    when a circuit references ports outside the switch radix, or when a
+    tear-down targets a circuit that is not installed.
+    """
+
+
+class CircuitConflictError(CircuitError):
+    """A requested circuit configuration conflicts with installed circuits."""
+
+
+class SchedulingError(ReproError):
+    """The control-plane scheduler was asked to violate its invariants.
+
+    Examples: serving requests out of FIFO order within a communication-group
+    domain, or reconfiguring a circuit that still carries an active flow.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The executor detected that no runnable operation remains while
+    unfinished operations still exist (a dependency cycle or an impossible
+    communication pattern)."""
+
+
+class ControlPlaneError(ReproError):
+    """An Opus control-plane component received an invalid request."""
+
+
+class ProfileError(ControlPlaneError):
+    """The traffic profiler was queried for a pattern it has not learned."""

@@ -1,0 +1,122 @@
+"""Parallelism and workload modelling: configs, meshes, groups, DAGs, traces.
+
+This subpackage is the ML-side substrate of the reproduction: it expands a
+model + parallelism + training configuration into the per-iteration DAG of
+compute and communication operations that the simulator executes and that
+Opus reconfigures around.
+"""
+
+from .characteristics import (
+    TABLE2_BY_NAME,
+    TABLE2_ROWS,
+    ParallelismCharacteristics,
+    characteristics_for,
+    per_iteration_volume_bytes,
+    table2_rows_for,
+)
+from .config import (
+    DTYPE_BYTES,
+    ModelConfig,
+    ParallelismConfig,
+    TrainingConfig,
+    WorkloadConfig,
+)
+from .dag import (
+    DagBuildOptions,
+    IterationDAG,
+    OpKind,
+    Operation,
+    build_iteration_dag,
+)
+from .groups import CommunicationGroup, GroupRegistry
+from .mesh import AXIS_ORDER, DeviceMesh, MeshCoordinate
+from .pipeline import (
+    ActionKind,
+    PipelineAction,
+    PipelinePhase,
+    gpipe_schedule,
+    num_pipeline_bubbles,
+    one_f_one_b_schedule,
+    schedule_for,
+)
+from .strategies import (
+    TABLE1_RULES,
+    StrategyRule,
+    propose_parallelism,
+    recommended_strategies,
+    strategy_table,
+)
+from .trace import (
+    CommRecord,
+    ComputeRecord,
+    IterationTrace,
+    ReconfigRecord,
+    TrainingTrace,
+)
+from .workloads import (
+    GPT3_175B,
+    LLAMA31_405B,
+    LLAMA3_70B,
+    LLAMA3_8B,
+    MIXTRAL_8X7B,
+    MODEL_CATALOG,
+    llama3_405b_workload,
+    model_by_name,
+    moe_workload,
+    paper_trace_cluster,
+    paper_trace_workload,
+    small_test_workload,
+)
+
+__all__ = [
+    "AXIS_ORDER",
+    "ActionKind",
+    "CommRecord",
+    "CommunicationGroup",
+    "ComputeRecord",
+    "DTYPE_BYTES",
+    "DagBuildOptions",
+    "DeviceMesh",
+    "GPT3_175B",
+    "GroupRegistry",
+    "IterationDAG",
+    "IterationTrace",
+    "LLAMA31_405B",
+    "LLAMA3_70B",
+    "LLAMA3_8B",
+    "MIXTRAL_8X7B",
+    "MODEL_CATALOG",
+    "MeshCoordinate",
+    "ModelConfig",
+    "OpKind",
+    "Operation",
+    "ParallelismCharacteristics",
+    "ParallelismConfig",
+    "PipelineAction",
+    "PipelinePhase",
+    "ReconfigRecord",
+    "StrategyRule",
+    "TABLE1_RULES",
+    "TABLE2_BY_NAME",
+    "TABLE2_ROWS",
+    "TrainingConfig",
+    "TrainingTrace",
+    "WorkloadConfig",
+    "build_iteration_dag",
+    "characteristics_for",
+    "gpipe_schedule",
+    "llama3_405b_workload",
+    "model_by_name",
+    "moe_workload",
+    "num_pipeline_bubbles",
+    "one_f_one_b_schedule",
+    "paper_trace_cluster",
+    "paper_trace_workload",
+    "per_iteration_volume_bytes",
+    "propose_parallelism",
+    "recommended_strategies",
+    "schedule_for",
+    "small_test_workload",
+    "strategy_table",
+    "table2_rows_for",
+]

@@ -1,0 +1,209 @@
+"""Per-parallelism communication characteristics (paper Table 2).
+
+Table 2 of the paper summarizes, for each parallelism strategy, what it saves
+(memory / compute) and what communication it costs (collective types, when
+they fire, and how often).  This module encodes that table as structured data
+and derives the quantitative per-iteration communication volume for a concrete
+workload, which the Table 2 benchmark prints next to the qualitative rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..collectives.primitives import CollectiveType
+from ..errors import ConfigurationError
+from .config import WorkloadConfig
+
+
+@dataclass(frozen=True)
+class ParallelismCharacteristics:
+    """One row of Table 2.
+
+    Attributes
+    ----------
+    name:
+        Strategy name as the paper writes it (``"DP"``, ``"FSDP"``, ...).
+    memory_reduction:
+        Qualitative memory savings (the paper's notation, e.g. ``"gbs/dp"``).
+    compute_reduction:
+        Qualitative compute savings.
+    communication:
+        Qualitative description of collective types and frequency.
+    collectives:
+        The collective types the strategy issues on the wire.
+    phase:
+        When the collectives fire: ``"fwd"``, ``"bwd"``, or ``"fwd bwd"``.
+    frequency:
+        Qualitative issue frequency (``"per layer"``, ``"per operator"``,
+        ``"per microbatch"``, ``"per model"``).
+    """
+
+    name: str
+    memory_reduction: str
+    compute_reduction: str
+    communication: str
+    collectives: Tuple[CollectiveType, ...]
+    phase: str
+    frequency: str
+
+
+#: The paper's Table 2, encoded row by row.
+TABLE2_ROWS: Tuple[ParallelismCharacteristics, ...] = (
+    ParallelismCharacteristics(
+        name="DP",
+        memory_reduction="gbs/dp",
+        compute_reduction="gbs/dp",
+        communication="bwd AR per layer/per model",
+        collectives=(CollectiveType.ALL_REDUCE,),
+        phase="bwd",
+        frequency="per layer/per model",
+    ),
+    ParallelismCharacteristics(
+        name="FSDP",
+        memory_reduction="gbs/dp, params/dp",
+        compute_reduction="gbs/dp",
+        communication="fwd AG, bwd RS per layer/model",
+        collectives=(CollectiveType.ALL_GATHER, CollectiveType.REDUCE_SCATTER),
+        phase="fwd bwd",
+        frequency="per layer/per model",
+    ),
+    ParallelismCharacteristics(
+        name="TP",
+        memory_reduction="params/tp, grads/tp, optims/tp",
+        compute_reduction="params/tp",
+        communication="fwd bwd AR per operator",
+        collectives=(CollectiveType.ALL_REDUCE,),
+        phase="fwd bwd",
+        frequency="per operator",
+    ),
+    ParallelismCharacteristics(
+        name="TP & SP",
+        memory_reduction="params/tp, grads/tp, optims/tp, activs/tp",
+        compute_reduction="params/tp, activs/tp",
+        communication="fwd bwd AG&RS per operator",
+        collectives=(CollectiveType.ALL_GATHER, CollectiveType.REDUCE_SCATTER),
+        phase="fwd bwd",
+        frequency="per operator",
+    ),
+    ParallelismCharacteristics(
+        name="CP",
+        memory_reduction="kv_cache/cp, seq/cp",
+        compute_reduction="seq/cp",
+        communication="fwd AG bwd RS per layer",
+        collectives=(CollectiveType.ALL_GATHER, CollectiveType.REDUCE_SCATTER),
+        phase="fwd bwd",
+        frequency="per layer",
+    ),
+    ParallelismCharacteristics(
+        name="PP",
+        memory_reduction="params/pp, grads/pp, optims/pp, activs/pp",
+        compute_reduction="params/pp",
+        communication="fwd bwd Send/Recv per microbatch",
+        collectives=(CollectiveType.SEND_RECV,),
+        phase="fwd bwd",
+        frequency="per microbatch",
+    ),
+    ParallelismCharacteristics(
+        name="EP",
+        memory_reduction="experts/ep",
+        compute_reduction="experts/ep",
+        communication="fwd bwd AllToAll per layer",
+        collectives=(CollectiveType.ALL_TO_ALL,),
+        phase="fwd bwd",
+        frequency="per layer",
+    ),
+)
+
+TABLE2_BY_NAME: Dict[str, ParallelismCharacteristics] = {
+    row.name: row for row in TABLE2_ROWS
+}
+
+
+def characteristics_for(name: str) -> ParallelismCharacteristics:
+    """Return the Table 2 row for strategy ``name``."""
+    if name not in TABLE2_BY_NAME:
+        raise ConfigurationError(
+            f"unknown parallelism strategy {name!r}; known: {sorted(TABLE2_BY_NAME)}"
+        )
+    return TABLE2_BY_NAME[name]
+
+
+def per_iteration_volume_bytes(workload: WorkloadConfig) -> Dict[str, float]:
+    """Per-rank scale-out communication volume of one iteration, by axis.
+
+    Quantifies Table 2 for a concrete workload: total bytes each rank sends on
+    the wire per training iteration, split by parallelism axis.  TP volume is
+    reported as well (it stays in the scale-up domain, but the comparison is
+    instructive).
+    """
+    model = workload.model
+    par = workload.parallelism
+    num_microbatches = workload.num_microbatches
+    layers_per_stage = workload.layers_per_stage
+    volumes: Dict[str, float] = {}
+
+    # Data parallelism (FSDP or classic).
+    if par.dp > 1:
+        n = par.dp
+        if par.use_fsdp:
+            ag = workload.fsdp_allgather_bytes_per_layer() * (n - 1)
+            rs = workload.fsdp_reducescatter_bytes_per_layer() * (n - 1) / n
+            volumes["dp"] = layers_per_stage * (ag + rs)
+        else:
+            volumes["dp"] = 2.0 * (n - 1) / n * workload.dp_allreduce_bytes()
+
+    # Pipeline parallelism: one activation send and one gradient receive per
+    # micro-batch per stage boundary (interior stages do both).
+    if par.pp > 1:
+        volumes["pp"] = 2.0 * num_microbatches * workload.pp_activation_bytes()
+
+    # Tensor parallelism: AllReduce (or AG/RS under SP) per operator; two
+    # matmul blocks per layer, forward and backward.
+    if par.tp > 1:
+        operators = 2 * layers_per_stage
+        per_op = 2.0 * (par.tp - 1) / par.tp * workload.tp_allreduce_bytes()
+        volumes["tp"] = 2.0 * operators * per_op * num_microbatches
+
+    # Context parallelism: KV AllGather per layer forward, RS backward.
+    if par.cp > 1:
+        n = par.cp
+        ag = workload.cp_allgather_bytes() * (n - 1)
+        rs = workload.cp_allgather_bytes() * (n - 1) / n
+        volumes["cp"] = layers_per_stage * num_microbatches * (ag + rs)
+
+    # Expert parallelism: dispatch + combine AllToAll per MoE layer, fwd + bwd.
+    if par.ep > 1:
+        n = par.ep
+        per_layer = 4.0 * (n - 1) / n * workload.ep_alltoall_bytes()
+        volumes["ep"] = layers_per_stage * num_microbatches * per_layer
+
+    return volumes
+
+
+def table2_rows_for(workload: WorkloadConfig) -> List[dict]:
+    """Combine the qualitative Table 2 rows with quantitative per-axis volumes."""
+    volumes = per_iteration_volume_bytes(workload)
+    axis_for_row = {
+        "DP": "dp",
+        "FSDP": "dp",
+        "TP": "tp",
+        "TP & SP": "tp",
+        "CP": "cp",
+        "PP": "pp",
+        "EP": "ep",
+    }
+    rows: List[dict] = []
+    for row in TABLE2_ROWS:
+        axis = axis_for_row[row.name]
+        rows.append(
+            {
+                "strategy": row.name,
+                "memory_reduction": row.memory_reduction,
+                "compute_reduction": row.compute_reduction,
+                "communication": row.communication,
+                "volume_bytes_per_iteration": volumes.get(axis, 0.0),
+            }
+        )
+    return rows

@@ -1,0 +1,149 @@
+"""Pipeline-parallel schedules (1F1B and GPipe).
+
+The paper's trace study (§3.1) uses the 1-forward-1-backward (1F1B) schedule
+[61]: each pipeline stage runs a warm-up phase of forward micro-batches, a
+steady phase alternating one forward and one backward, and a cool-down phase
+draining the remaining backwards.  The phase a communication falls into is
+part of the paper's Fig. 3 presentation, and the number of phase transitions
+enters the window-count formula (Eq. 1), so the schedule generator annotates
+every action with its phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+
+
+class PipelinePhase(str, Enum):
+    """Pipeline execution phase of one action (paper Fig. 3 annotation)."""
+
+    WARMUP = "warm-up"
+    STEADY = "steady"
+    COOLDOWN = "cool-down"
+    SYNC = "sync"
+
+
+class ActionKind(str, Enum):
+    """What a pipeline stage does in one schedule slot."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+@dataclass(frozen=True)
+class PipelineAction:
+    """One slot of a stage's pipeline schedule."""
+
+    kind: ActionKind
+    microbatch: int
+    stage: int
+    phase: PipelinePhase
+
+    def __str__(self) -> str:
+        letter = "F" if self.kind == ActionKind.FORWARD else "B"
+        return f"{letter}{self.microbatch}@s{self.stage}[{self.phase.value}]"
+
+
+def one_f_one_b_schedule(
+    num_stages: int, num_microbatches: int, stage: int
+) -> List[PipelineAction]:
+    """Return the 1F1B schedule of ``stage`` for one training iteration.
+
+    Parameters
+    ----------
+    num_stages:
+        Pipeline depth (PP degree).
+    num_microbatches:
+        Micro-batches per iteration per pipeline.
+    stage:
+        Which stage's schedule to generate (0 = first stage).
+    """
+    _validate(num_stages, num_microbatches, stage)
+    warmup = min(num_stages - stage - 1, num_microbatches)
+    actions: List[PipelineAction] = []
+
+    for microbatch in range(warmup):
+        actions.append(
+            PipelineAction(ActionKind.FORWARD, microbatch, stage, PipelinePhase.WARMUP)
+        )
+
+    steady_count = num_microbatches - warmup
+    for index in range(steady_count):
+        forward_mb = warmup + index
+        backward_mb = index
+        is_last_forward = forward_mb == num_microbatches - 1
+        phase = PipelinePhase.STEADY
+        actions.append(
+            PipelineAction(ActionKind.FORWARD, forward_mb, stage, phase)
+        )
+        actions.append(
+            PipelineAction(
+                ActionKind.BACKWARD,
+                backward_mb,
+                stage,
+                PipelinePhase.COOLDOWN if is_last_forward else phase,
+            )
+        )
+
+    for microbatch in range(steady_count, num_microbatches):
+        actions.append(
+            PipelineAction(
+                ActionKind.BACKWARD, microbatch, stage, PipelinePhase.COOLDOWN
+            )
+        )
+    return actions
+
+
+def gpipe_schedule(
+    num_stages: int, num_microbatches: int, stage: int
+) -> List[PipelineAction]:
+    """Return the GPipe (all-forward-then-all-backward) schedule of ``stage``."""
+    _validate(num_stages, num_microbatches, stage)
+    actions: List[PipelineAction] = []
+    for microbatch in range(num_microbatches):
+        phase = PipelinePhase.WARMUP if microbatch == 0 else PipelinePhase.STEADY
+        actions.append(PipelineAction(ActionKind.FORWARD, microbatch, stage, phase))
+    for microbatch in range(num_microbatches):
+        actions.append(
+            PipelineAction(ActionKind.BACKWARD, microbatch, stage, PipelinePhase.COOLDOWN)
+        )
+    return actions
+
+
+SCHEDULES = {
+    "1f1b": one_f_one_b_schedule,
+    "gpipe": gpipe_schedule,
+}
+
+
+def schedule_for(
+    name: str, num_stages: int, num_microbatches: int, stage: int
+) -> List[PipelineAction]:
+    """Dispatch to a named pipeline schedule (``"1f1b"`` or ``"gpipe"``)."""
+    if name not in SCHEDULES:
+        raise ConfigurationError(
+            f"unknown pipeline schedule {name!r}; known: {sorted(SCHEDULES)}"
+        )
+    return SCHEDULES[name](num_stages, num_microbatches, stage)
+
+
+def num_pipeline_bubbles(num_stages: int, num_microbatches: int) -> float:
+    """Pipeline bubble fraction of 1F1B: ``(p-1) / (m + p - 1)``."""
+    if num_stages <= 0 or num_microbatches <= 0:
+        raise ConfigurationError("stages and microbatches must be positive")
+    return (num_stages - 1) / float(num_microbatches + num_stages - 1)
+
+
+def _validate(num_stages: int, num_microbatches: int, stage: int) -> None:
+    if num_stages <= 0:
+        raise ConfigurationError("num_stages must be positive")
+    if num_microbatches <= 0:
+        raise ConfigurationError("num_microbatches must be positive")
+    if not 0 <= stage < num_stages:
+        raise ConfigurationError(
+            f"stage {stage} out of range for {num_stages} pipeline stages"
+        )

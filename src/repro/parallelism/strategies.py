@@ -1,0 +1,153 @@
+"""Rule-of-thumb LLM parallelism strategy selection (paper Table 1).
+
+Table 1 of the paper summarizes the practices from the Ultra-Scale Playbook
+[67]: which combinations of TP / DP / PP are used as a function of model size
+and GPU count.  This module encodes those rules as data plus a selector that,
+given a model and a GPU budget, proposes a concrete
+:class:`~repro.parallelism.config.ParallelismConfig` consistent with them.
+The selector is intentionally simple — it is the paper's coarse guidance, not
+an auto-parallelization system — but it is used by the examples and the
+Table 1 benchmark to show which regimes produce multi-dimensional scale-out
+traffic (the case photonic rails must handle).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .config import ModelConfig, ParallelismConfig
+
+#: Threshold between "small" and "large" models in Table 1, in parameters.
+LARGE_MODEL_PARAMS = 10e9
+
+
+@dataclass(frozen=True)
+class StrategyRule:
+    """One row of Table 1: a GPU-count band and the recommended strategies."""
+
+    model_scale: str
+    min_gpus: int
+    max_gpus: Optional[int]
+    strategies: Tuple[str, ...]
+
+    def matches(self, num_gpus: int) -> bool:
+        """Return whether ``num_gpus`` falls inside this rule's band."""
+        if num_gpus < self.min_gpus:
+            return False
+        return self.max_gpus is None or num_gpus <= self.max_gpus
+
+
+#: The paper's Table 1, encoded verbatim.
+TABLE1_RULES: Tuple[StrategyRule, ...] = (
+    StrategyRule("small", 1, 8, ("TP", "DP")),
+    StrategyRule("large", 9, 512, ("TP & PP", "TP & DP", "DP")),
+    StrategyRule("large", 513, 1024, ("DP & PP", "DP & TP")),
+    StrategyRule("large", 1025, None, ("TP, DP & PP",)),
+)
+
+
+def recommended_strategies(model: ModelConfig, num_gpus: int) -> Tuple[str, ...]:
+    """Return the Table 1 strategy names for ``model`` on ``num_gpus`` GPUs."""
+    if num_gpus <= 0:
+        raise ConfigurationError("num_gpus must be positive")
+    is_large = model.total_params > LARGE_MODEL_PARAMS
+    if not is_large:
+        if num_gpus <= 8:
+            return ("TP", "DP")
+        # Small models on many GPUs simply use data parallelism.
+        return ("DP",)
+    for rule in TABLE1_RULES[1:]:
+        if rule.matches(num_gpus):
+            return rule.strategies
+    return TABLE1_RULES[-1].strategies
+
+
+def _largest_power_of_two_at_most(value: int) -> int:
+    if value < 1:
+        return 1
+    return 1 << (value.bit_length() - 1)
+
+
+def propose_parallelism(
+    model: ModelConfig,
+    num_gpus: int,
+    gpus_per_scaleup: int = 8,
+    use_fsdp: bool = True,
+) -> ParallelismConfig:
+    """Propose a concrete parallelism configuration following Table 1.
+
+    The proposal keeps TP inside the scale-up domain, sizes PP to the smallest
+    power of two that (together with TP) bounds per-GPU parameter memory, and
+    gives the remaining factor to DP.  ``num_gpus`` must be a power of two.
+
+    This mirrors the reasoning practitioners apply and yields configurations
+    in the same families as Table 1's recommendations; it is not an optimizer.
+    """
+    if num_gpus <= 0:
+        raise ConfigurationError("num_gpus must be positive")
+    if num_gpus & (num_gpus - 1):
+        raise ConfigurationError("propose_parallelism expects a power-of-two GPU count")
+    is_large = model.total_params > LARGE_MODEL_PARAMS
+
+    if not is_large:
+        if num_gpus <= 8:
+            return ParallelismConfig(tp=num_gpus, use_fsdp=use_fsdp)
+        return ParallelismConfig(
+            tp=1, dp=num_gpus, use_fsdp=use_fsdp
+        )
+
+    tp = min(_largest_power_of_two_at_most(gpus_per_scaleup), 8, num_gpus)
+    remaining = num_gpus // tp
+
+    if num_gpus <= 512:
+        pp = min(remaining, _pp_for_memory(model, tp))
+        pp = _largest_power_of_two_at_most(max(1, pp))
+        dp = remaining // pp
+        return ParallelismConfig(tp=tp, pp=pp, dp=max(1, dp), use_fsdp=use_fsdp)
+    if num_gpus <= 1024:
+        pp = min(remaining, max(2, _pp_for_memory(model, tp)))
+        pp = _largest_power_of_two_at_most(pp)
+        dp = remaining // pp
+        return ParallelismConfig(tp=tp, pp=pp, dp=max(1, dp), use_fsdp=use_fsdp)
+    pp = min(remaining, max(4, _pp_for_memory(model, tp)))
+    pp = _largest_power_of_two_at_most(pp)
+    dp = remaining // pp
+    return ParallelismConfig(tp=tp, pp=pp, dp=max(1, dp), use_fsdp=use_fsdp)
+
+
+def _pp_for_memory(model: ModelConfig, tp: int, memory_budget_bytes: float = 60e9) -> int:
+    """Smallest pipeline degree keeping optimizer state within the memory budget.
+
+    Assumes mixed-precision Adam (≈ 16 bytes/parameter of state + weights)
+    sharded over TP; FSDP sharding further reduces this, so the estimate is
+    conservative in the right direction for strategy selection.
+    """
+    bytes_per_param = 16.0
+    per_gpu = model.total_params * bytes_per_param / tp
+    return max(1, math.ceil(per_gpu / memory_budget_bytes))
+
+
+def strategy_table(models: Sequence[ModelConfig], gpu_counts: Sequence[int]) -> List[dict]:
+    """Build the Table 1 reproduction rows for the given models and GPU counts."""
+    rows: List[dict] = []
+    for model in models:
+        for num_gpus in gpu_counts:
+            strategies = recommended_strategies(model, num_gpus)
+            try:
+                proposal = propose_parallelism(model, num_gpus)
+                proposed = proposal.describe()
+            except ConfigurationError:
+                proposed = "n/a"
+            rows.append(
+                {
+                    "model": model.name,
+                    "params": model.total_params,
+                    "num_gpus": num_gpus,
+                    "recommended": ", ".join(strategies),
+                    "proposed": proposed,
+                }
+            )
+    return rows

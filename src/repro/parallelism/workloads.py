@@ -1,0 +1,192 @@
+"""Workload presets: the models and training configurations used by the paper.
+
+The presets cover the Llama-3 family (the paper's trace workload is Llama3-8B
+on TorchTitan; the window-count example uses Llama3.1-405B), a GPT-3-sized
+dense model, and a DeepSeek-style MoE model for the expert-parallel extension
+experiments.  ``paper_trace_workload`` reconstructs the exact configuration of
+the paper's §3.1 study: TP=4 (intra-node), FSDP=2, PP=2, micro-batch size 2 on
+the 4-node Perlmutter testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..topology.devices import ClusterSpec, perlmutter_testbed
+from .config import ModelConfig, ParallelismConfig, TrainingConfig, WorkloadConfig
+
+# --------------------------------------------------------------------------- #
+# Model presets
+# --------------------------------------------------------------------------- #
+
+LLAMA3_8B = ModelConfig(
+    name="Llama3-8B",
+    num_layers=32,
+    hidden_size=4096,
+    ffn_hidden_size=14336,
+    num_attention_heads=32,
+    num_kv_heads=8,
+    vocab_size=128_256,
+    seq_length=4096,
+)
+
+LLAMA3_70B = ModelConfig(
+    name="Llama3-70B",
+    num_layers=80,
+    hidden_size=8192,
+    ffn_hidden_size=28672,
+    num_attention_heads=64,
+    num_kv_heads=8,
+    vocab_size=128_256,
+    seq_length=8192,
+)
+
+LLAMA31_405B = ModelConfig(
+    name="Llama3.1-405B",
+    num_layers=126,
+    hidden_size=16384,
+    ffn_hidden_size=53248,
+    num_attention_heads=128,
+    num_kv_heads=8,
+    vocab_size=128_256,
+    seq_length=8192,
+)
+
+GPT3_175B = ModelConfig(
+    name="GPT3-175B",
+    num_layers=96,
+    hidden_size=12288,
+    ffn_hidden_size=49152,
+    num_attention_heads=96,
+    num_kv_heads=96,
+    vocab_size=50_257,
+    seq_length=2048,
+)
+
+MIXTRAL_8X7B = ModelConfig(
+    name="Mixtral-8x7B",
+    num_layers=32,
+    hidden_size=4096,
+    ffn_hidden_size=14336,
+    num_attention_heads=32,
+    num_kv_heads=8,
+    vocab_size=32_000,
+    seq_length=4096,
+    num_experts=8,
+    moe_top_k=2,
+)
+
+MODEL_CATALOG: Dict[str, ModelConfig] = {
+    model.name: model
+    for model in (LLAMA3_8B, LLAMA3_70B, LLAMA31_405B, GPT3_175B, MIXTRAL_8X7B)
+}
+
+
+def model_by_name(name: str) -> ModelConfig:
+    """Return a preset model by name."""
+    if name not in MODEL_CATALOG:
+        raise ConfigurationError(
+            f"unknown model {name!r}; known: {sorted(MODEL_CATALOG)}"
+        )
+    return MODEL_CATALOG[name]
+
+
+# --------------------------------------------------------------------------- #
+# Workload presets
+# --------------------------------------------------------------------------- #
+
+
+def paper_trace_workload(
+    num_microbatches: int = 8,
+    pp: int = 2,
+    dp: int = 2,
+    tp: int = 4,
+) -> WorkloadConfig:
+    """The paper's §3.1 trace workload: Llama3-8B with TP=4, FSDP=2, PP=2.
+
+    ``num_microbatches`` controls the global batch size
+    (``dp * micro_batch_size * num_microbatches``); the paper uses a 1F1B
+    schedule with micro-batch size 2.
+    """
+    parallelism = ParallelismConfig(tp=tp, pp=pp, dp=dp, use_fsdp=True)
+    training = TrainingConfig(
+        global_batch_size=dp * 2 * num_microbatches,
+        micro_batch_size=2,
+        param_dtype="bf16",
+        grad_dtype="fp32",
+    )
+    return WorkloadConfig(model=LLAMA3_8B, parallelism=parallelism, training=training)
+
+
+def paper_trace_cluster(pp: int = 2, dp: int = 2, tp: int = 4) -> ClusterSpec:
+    """The Perlmutter testbed sized for the paper trace workload.
+
+    Four A100 GPUs per node (so four rails); the number of nodes is the number
+    of (pp, dp) model chunks when TP fills the node, as in the paper (4 nodes
+    for PP=2 × FSDP=2; 6 nodes for the PP=3 variant of Fig. 3b).
+    """
+    if tp != 4:
+        raise ConfigurationError("the Perlmutter testbed has 4 GPUs per node (tp=4)")
+    return perlmutter_testbed(num_nodes=pp * dp)
+
+
+def llama3_405b_workload(
+    tp: int = 8, pp: int = 16, dp: int = 8, cp: int = 1
+) -> WorkloadConfig:
+    """A Llama3.1-405B workload in the spirit of the published recipes [10, 41].
+
+    The default 1024-GPU configuration (TP=8, PP=16, DP=8) is the one the
+    paper's Eq. 1 example refers to; layers are padded conceptually by
+    allowing ``num_layers % pp != 0`` to be avoided via pp in {2,3,6,7,9,14,...}
+    divisors — the default PP=16 does not divide 126, so the workload uses the
+    128-layer variant NVIDIA's benchmarking recipe pads to.
+    """
+    model = LLAMA31_405B
+    if model.num_layers % pp != 0:
+        padded_layers = ((model.num_layers + pp - 1) // pp) * pp
+        model = ModelConfig(
+            name=model.name + f"-padded{padded_layers}",
+            num_layers=padded_layers,
+            hidden_size=model.hidden_size,
+            ffn_hidden_size=model.ffn_hidden_size,
+            num_attention_heads=model.num_attention_heads,
+            num_kv_heads=model.num_kv_heads,
+            vocab_size=model.vocab_size,
+            seq_length=model.seq_length,
+        )
+    parallelism = ParallelismConfig(tp=tp, pp=pp, dp=dp, cp=cp, use_fsdp=True)
+    training = TrainingConfig(
+        global_batch_size=dp * 1 * 16,
+        micro_batch_size=1,
+        param_dtype="bf16",
+        grad_dtype="fp32",
+    )
+    return WorkloadConfig(model=model, parallelism=parallelism, training=training)
+
+
+def moe_workload(tp: int = 4, pp: int = 2, dp: int = 2, ep: int = 4) -> WorkloadConfig:
+    """A Mixtral-style MoE workload exercising expert-parallel AllToAll traffic."""
+    parallelism = ParallelismConfig(tp=tp, pp=pp, dp=dp, ep=ep, use_fsdp=True)
+    training = TrainingConfig(
+        global_batch_size=dp * 2 * 8,
+        micro_batch_size=2,
+    )
+    return WorkloadConfig(model=MIXTRAL_8X7B, parallelism=parallelism, training=training)
+
+
+def small_test_workload(pp: int = 2, dp: int = 2, tp: int = 2) -> WorkloadConfig:
+    """A small, fast workload for unit tests (a scaled-down transformer)."""
+    model = ModelConfig(
+        name="Tiny-1B",
+        num_layers=8,
+        hidden_size=2048,
+        ffn_hidden_size=8192,
+        num_attention_heads=16,
+        num_kv_heads=16,
+        vocab_size=32_000,
+        seq_length=2048,
+    )
+    parallelism = ParallelismConfig(tp=tp, pp=pp, dp=dp, use_fsdp=True)
+    training = TrainingConfig(global_batch_size=dp * 2 * 4, micro_batch_size=2)
+    return WorkloadConfig(model=model, parallelism=parallelism, training=training)

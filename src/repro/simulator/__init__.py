@@ -1,0 +1,51 @@
+"""Flow-level discrete-event simulation of ML training on datacenter fabrics.
+
+* :mod:`repro.simulator.compute` — compute-duration model.
+* :mod:`repro.simulator.network` — network timing models (electrical baseline,
+  ideal network; the photonic model lives in :mod:`repro.core.network`).
+* :mod:`repro.simulator.executor` — list-scheduling DAG executor.
+* :mod:`repro.simulator.engine` / :mod:`repro.simulator.flows` — fluid
+  max–min fair flow simulation used for point-to-point studies.
+* :mod:`repro.simulator.metrics` — trace summaries (iteration time breakdowns,
+  normalized iteration time for Fig. 8).
+"""
+
+from .compute import ComputeTimeModel
+from .engine import Event, SimulationEngine
+from .executor import DAGExecutor, SimulationConfig
+from .flows import Flow, FlowSimulator, max_min_fair_rates
+from .metrics import (
+    IterationMetrics,
+    iteration_metrics,
+    mean_iteration_time,
+    normalized_iteration_time,
+    per_rail_traffic,
+    reconfigurations_per_iteration,
+)
+from .network import (
+    CommTiming,
+    ElectricalRailNetworkModel,
+    IdealNetworkModel,
+    NetworkModel,
+)
+
+__all__ = [
+    "CommTiming",
+    "ComputeTimeModel",
+    "DAGExecutor",
+    "ElectricalRailNetworkModel",
+    "Event",
+    "Flow",
+    "FlowSimulator",
+    "IdealNetworkModel",
+    "IterationMetrics",
+    "NetworkModel",
+    "SimulationConfig",
+    "SimulationEngine",
+    "iteration_metrics",
+    "max_min_fair_rates",
+    "mean_iteration_time",
+    "normalized_iteration_time",
+    "per_rail_traffic",
+    "reconfigurations_per_iteration",
+]

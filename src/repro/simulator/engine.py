@@ -1,0 +1,120 @@
+"""Minimal discrete-event engine used by the flow-level simulator.
+
+The engine is a time-ordered priority queue of events with stable FIFO
+ordering among events scheduled for the same instant.  It is deliberately
+small: the DAG executor uses list scheduling (it needs resource reasoning, not
+arbitrary events), and only the fluid flow simulator drives this queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass
+class Event:
+    """One scheduled event: a callback invoked at ``time`` with ``payload``."""
+
+    time: float
+    callback: Callable[["SimulationEngine", Any], None]
+    payload: Any = None
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when dequeued."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """A time-ordered event queue with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """The current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[["SimulationEngine", Any], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback(engine, payload)`` at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before current time {self._now}"
+            )
+        event = Event(time=time, callback=callback, payload=payload)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._sequence), event))
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[["SimulationEngine", Any], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        return self.schedule(self._now + delay, callback, payload)
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event; return False when idle."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.event.cancelled:
+                continue
+            self._now = entry.time
+            entry.event.callback(self, entry.event.payload)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run until the queue drains (or ``until`` / ``max_events`` is hit).
+
+        Returns the simulation time when the run stopped.
+        """
+        executed = 0
+        while self._queue:
+            next_time = self._queue[0].time
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            if not self.step():
+                break
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exceeded; likely a runaway loop"
+                )
+        return self._now

@@ -1,0 +1,262 @@
+"""DAG executor: list-scheduling simulation of one or more training iterations.
+
+The executor takes the iteration DAG (compute + communication operations with
+dependencies), a compute-time model, and a network model and produces an
+:class:`~repro.parallelism.trace.IterationTrace`.  Scheduling semantics:
+
+* every rank's GPU executes **compute** operations one at a time;
+* **communication** operations occupy the ranks' scale-out NIC (or the
+  scale-up interconnect for intra-domain groups), one at a time per rank, but
+  may overlap with compute on the same rank — this is how FSDP parameter
+  AllGathers overlap the forward pass exactly as the paper describes;
+* an operation starts at the earliest time at which all its dependencies have
+  finished and its resources are free; the network model may additionally
+  delay the start of a communication until the required circuits are up.
+
+Scheduling is greedy "earliest-start-first" list scheduling over the ready
+set, which is deterministic and — given that the DAG already encodes the 1F1B
+ordering — faithful to how collectives are issued per CUDA stream in the real
+system.  Communication order per communication group follows issue order,
+which is the FIFO the paper's FC-FS control-plane policy relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import DeadlockError, SimulationError
+from ..parallelism.config import WorkloadConfig
+from ..parallelism.dag import IterationDAG, OpKind, Operation
+from ..parallelism.mesh import DeviceMesh
+from ..parallelism.trace import (
+    CommRecord,
+    ComputeRecord,
+    IterationTrace,
+    TrainingTrace,
+)
+from ..collectives.primitives import total_traffic_bytes
+from ..topology.devices import ClusterSpec
+from .compute import ComputeTimeModel
+from .network import CommTiming, NetworkModel
+
+
+@dataclass
+class SimulationConfig:
+    """Executor knobs.
+
+    Attributes
+    ----------
+    mfu:
+        Model FLOPs utilization for the compute model.
+    compute_jitter:
+        Relative standard deviation of a lognormal-ish multiplicative jitter
+        applied to compute durations (0 disables jitter).  The paper's window
+        CDF (Fig. 4a) is taken over 10 iterations of a real system whose
+        compute times vary slightly; jitter reproduces that spread.
+    seed:
+        Seed for the jitter random number generator.
+    """
+
+    mfu: float = 0.40
+    compute_jitter: float = 0.0
+    seed: int = 0
+
+
+class DAGExecutor:
+    """Simulates the execution of an iteration DAG on a cluster."""
+
+    def __init__(
+        self,
+        dag: IterationDAG,
+        cluster: ClusterSpec,
+        network: NetworkModel,
+        compute_model: Optional[ComputeTimeModel] = None,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.dag = dag
+        self.cluster = cluster
+        self.network = network
+        self.config = config or SimulationConfig()
+        self.compute_model = compute_model or ComputeTimeModel(
+            gpu=cluster.scaleup.gpu, mfu=self.config.mfu
+        )
+        self.mesh: DeviceMesh = dag.mesh
+        self._rng = random.Random(self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def run_iteration(self, iteration: int = 0, start_time: float = 0.0) -> IterationTrace:
+        """Simulate one iteration starting at ``start_time``."""
+        trace = IterationTrace(iteration=iteration)
+        self.network.on_iteration_start(iteration, start_time)
+
+        operations = self.dag.operations()
+        remaining_deps: Dict[int, int] = {
+            op.op_id: len(op.deps) for op in operations
+        }
+        dep_end: Dict[int, float] = {}
+        successors: Dict[int, List[int]] = {op.op_id: [] for op in operations}
+        for op in operations:
+            for dep in op.deps:
+                successors[dep].append(op.op_id)
+
+        gpu_free: Dict[int, float] = {}
+        nic_free: Dict[int, float] = {}
+        scaleup_free: Dict[int, float] = {}
+
+        ready: Set[int] = {
+            op.op_id for op in operations if remaining_deps[op.op_id] == 0
+        }
+        completed = 0
+        total = len(operations)
+
+        while ready:
+            # Pick the ready operation with the earliest feasible start time;
+            # break ties by op id (issue order).
+            best_id = None
+            best_start = None
+            for op_id in ready:
+                op = self.dag.operation(op_id)
+                candidate = self._earliest_start(
+                    op, dep_end, gpu_free, nic_free, scaleup_free, start_time
+                )
+                if best_start is None or (candidate, op_id) < (best_start, best_id):
+                    best_start = candidate
+                    best_id = op_id
+            assert best_id is not None and best_start is not None
+            ready.discard(best_id)
+            operation = self.dag.operation(best_id)
+
+            if operation.kind == OpKind.COMPUTE:
+                end = self._execute_compute(operation, best_start, gpu_free, trace)
+            else:
+                end = self._execute_comm(
+                    operation, best_start, nic_free, scaleup_free, trace
+                )
+            dep_end[best_id] = end
+            completed += 1
+            for successor in successors[best_id]:
+                remaining_deps[successor] -= 1
+                if remaining_deps[successor] == 0:
+                    ready.add(successor)
+
+        if completed != total:
+            raise DeadlockError(
+                f"executor finished only {completed}/{total} operations; "
+                "the DAG has unreachable operations"
+            )
+        self.network.on_iteration_end(iteration, trace.end)
+        return trace
+
+    def run_training(self, num_iterations: int, start_time: float = 0.0) -> TrainingTrace:
+        """Simulate ``num_iterations`` back-to-back iterations.
+
+        The network model's state (learned traffic profiles, circuit state)
+        carries across iterations, matching Opus's profile-then-provision
+        behaviour: iteration 0 is the profiling iteration, later iterations
+        benefit from provisioning.
+        """
+        if num_iterations <= 0:
+            raise SimulationError("num_iterations must be positive")
+        training = TrainingTrace()
+        current = start_time
+        for iteration in range(num_iterations):
+            trace = self.run_iteration(iteration=iteration, start_time=current)
+            training.add(trace)
+            current = trace.end
+        return training
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _earliest_start(
+        self,
+        operation: Operation,
+        dep_end: Dict[int, float],
+        gpu_free: Dict[int, float],
+        nic_free: Dict[int, float],
+        scaleup_free: Dict[int, float],
+        start_time: float,
+    ) -> float:
+        ready = start_time
+        for dep in operation.deps:
+            ready = max(ready, dep_end[dep])
+        if operation.kind == OpKind.COMPUTE:
+            for rank in operation.ranks:
+                ready = max(ready, gpu_free.get(rank, start_time))
+        else:
+            resource = nic_free if self.network.is_scaleout(operation) else scaleup_free
+            for rank in operation.ranks:
+                ready = max(ready, resource.get(rank, start_time))
+        return ready
+
+    def _compute_duration(self, operation: Operation) -> float:
+        duration = self.compute_model.duration(operation)
+        if self.config.compute_jitter > 0:
+            factor = self._rng.lognormvariate(0.0, self.config.compute_jitter)
+            duration *= factor
+        return duration
+
+    def _execute_compute(
+        self,
+        operation: Operation,
+        start: float,
+        gpu_free: Dict[int, float],
+        trace: IterationTrace,
+    ) -> float:
+        end = start + self._compute_duration(operation)
+        for rank in operation.ranks:
+            gpu_free[rank] = end
+        trace.compute_records.append(
+            ComputeRecord(
+                op_id=operation.op_id,
+                ranks=operation.ranks,
+                start=start,
+                end=end,
+                phase=operation.phase,
+                tag=operation.tag,
+            )
+        )
+        return end
+
+    def _execute_comm(
+        self,
+        operation: Operation,
+        ready_time: float,
+        nic_free: Dict[int, float],
+        scaleup_free: Dict[int, float],
+        trace: IterationTrace,
+    ) -> float:
+        assert operation.collective is not None
+        timing: CommTiming = self.network.timing(operation, ready_time)
+        scaleout = self.network.is_scaleout(operation)
+        resource = nic_free if scaleout else scaleup_free
+        for rank in operation.ranks:
+            resource[rank] = timing.end
+        rails: Tuple[int, ...] = ()
+        if self.mesh.cluster is not None and scaleout:
+            rails = self.mesh.rails_of_group(operation.collective.group)
+        trace.comm_records.append(
+            CommRecord(
+                op_id=operation.op_id,
+                collective=operation.collective.collective,
+                parallelism=operation.collective.parallelism,
+                group=operation.collective.group,
+                rails=rails,
+                size_bytes=operation.collective.size_bytes,
+                total_bytes=total_traffic_bytes(operation.collective),
+                start=timing.start,
+                end=timing.end,
+                phase=operation.phase,
+                tag=operation.tag,
+                scaleout=scaleout,
+            )
+        )
+        trace.reconfig_records.extend(timing.reconfigs)
+        self.network.on_comm_end(operation, timing.end)
+        return timing.end

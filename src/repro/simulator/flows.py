@@ -1,0 +1,282 @@
+"""Flow-level (fluid) network simulation with max–min fair bandwidth sharing.
+
+Each :class:`Flow` moves ``size_bytes`` along a fixed path of links.  Whenever
+the set of active flows changes (an arrival or a completion), the simulator
+recomputes the max–min fair allocation over all links with the standard
+progressive-filling algorithm and reschedules the next completion.  This is
+the usual fluid approximation used by datacenter-fabric studies, including the
+ones the paper builds on (TopoOpt, Rail-only): no packets, no transport
+dynamics, just capacity sharing.
+
+The DAG executor uses this engine when run in ``"flow"`` network mode (every
+collective expanded into per-step point-to-point transfers); the analytic mode
+bypasses it.  The engine is also usable standalone for micro-studies such as
+incast on a shared rail switch versus dedicated circuits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SimulationError
+from ..topology.base import Link
+from .engine import SimulationEngine
+
+#: Tolerance used when deciding whether a flow has finished transferring.
+_BYTES_EPSILON = 1e-6
+#: Tolerance for time comparisons.
+_TIME_EPSILON = 1e-12
+
+
+@dataclass
+class Flow:
+    """One fluid flow over a fixed path.
+
+    Attributes
+    ----------
+    flow_id:
+        Unique identifier assigned by the simulator.
+    path:
+        The links the flow traverses, in order.  An empty path means the
+        source and destination are co-located and the flow completes after
+        its latency only.
+    size_bytes:
+        Bytes to transfer.
+    start_time:
+        Arrival time of the flow.
+    """
+
+    flow_id: int
+    path: Tuple[Link, ...]
+    size_bytes: float
+    start_time: float
+    remaining_bytes: float = field(init=False)
+    rate: float = field(init=False, default=0.0)
+    finish_time: Optional[float] = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise SimulationError("flow size must be non-negative")
+        self.remaining_bytes = float(self.size_bytes)
+
+    @property
+    def latency(self) -> float:
+        """Total propagation latency along the flow's path."""
+        return sum(link.latency for link in self.path)
+
+    @property
+    def done(self) -> bool:
+        """Whether the flow has finished transferring."""
+        return self.finish_time is not None
+
+
+def max_min_fair_rates(
+    flows: Sequence[Flow], capacities: Optional[Dict[Tuple[str, str, int], float]] = None
+) -> Dict[int, float]:
+    """Compute the max–min fair rate of each flow by progressive filling.
+
+    Parameters
+    ----------
+    flows:
+        Active flows; flows with an empty path receive infinite rate.
+    capacities:
+        Optional override of per-link capacities keyed by ``link.key``
+        (defaults to each link's ``bandwidth``).
+
+    Returns
+    -------
+    dict
+        Mapping of ``flow_id`` to allocated rate in bytes/second.
+    """
+    remaining_capacity: Dict[Tuple[str, str, int], float] = {}
+    link_flows: Dict[Tuple[str, str, int], Set[int]] = {}
+    for flow in flows:
+        for link in flow.path:
+            key = link.key
+            if key not in remaining_capacity:
+                capacity = link.bandwidth
+                if capacities and key in capacities:
+                    capacity = capacities[key]
+                remaining_capacity[key] = capacity
+                link_flows[key] = set()
+            link_flows[key].add(flow.flow_id)
+
+    rates: Dict[int, float] = {}
+    unallocated: Set[int] = set()
+    for flow in flows:
+        if not flow.path:
+            rates[flow.flow_id] = math.inf
+        else:
+            unallocated.add(flow.flow_id)
+
+    while unallocated:
+        # Find the most constrained link: smallest fair share among its
+        # still-unallocated flows.
+        best_share = None
+        for key, users in link_flows.items():
+            active_users = users & unallocated
+            if not active_users:
+                continue
+            share = remaining_capacity[key] / len(active_users)
+            if best_share is None or share < best_share:
+                best_share = share
+        if best_share is None:
+            # Remaining flows traverse only links with no capacity constraint.
+            for flow_id in unallocated:
+                rates[flow_id] = math.inf
+            break
+        # Freeze every flow crossing a link whose fair share equals the bottleneck.
+        frozen: Set[int] = set()
+        for key, users in link_flows.items():
+            active_users = users & unallocated
+            if not active_users:
+                continue
+            share = remaining_capacity[key] / len(active_users)
+            if share <= best_share * (1 + 1e-12):
+                frozen.update(active_users)
+        for flow_id in frozen:
+            rates[flow_id] = best_share
+        # Subtract the frozen flows' rates from every link they traverse.
+        flow_by_id = {flow.flow_id: flow for flow in flows}
+        for flow_id in frozen:
+            for link in flow_by_id[flow_id].path:
+                remaining_capacity[link.key] = max(
+                    0.0, remaining_capacity[link.key] - best_share
+                )
+        unallocated -= frozen
+    return rates
+
+
+class FlowSimulator:
+    """Event-driven fluid simulator over a set of flows.
+
+    Usage::
+
+        sim = FlowSimulator()
+        sim.add_flow(path, size_bytes, start_time=0.0, on_complete=callback)
+        sim.run()
+    """
+
+    def __init__(self, engine: Optional[SimulationEngine] = None) -> None:
+        self.engine = engine or SimulationEngine()
+        self._flows: Dict[int, Flow] = {}
+        self._active: Set[int] = set()
+        self._counter = itertools.count()
+        self._completion_callbacks: Dict[int, Callable[[Flow], None]] = {}
+        self._completion_event = None
+        self._last_update = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Flow management
+    # ------------------------------------------------------------------ #
+
+    def add_flow(
+        self,
+        path: Sequence[Link],
+        size_bytes: float,
+        start_time: float = 0.0,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+    ) -> Flow:
+        """Register a flow that arrives at ``start_time``."""
+        flow = Flow(
+            flow_id=next(self._counter),
+            path=tuple(path),
+            size_bytes=size_bytes,
+            start_time=start_time,
+        )
+        self._flows[flow.flow_id] = flow
+        if on_complete is not None:
+            self._completion_callbacks[flow.flow_id] = on_complete
+        self.engine.schedule(start_time, self._on_flow_start, flow.flow_id)
+        return flow
+
+    def flow(self, flow_id: int) -> Flow:
+        """Return the flow with id ``flow_id``."""
+        if flow_id not in self._flows:
+            raise SimulationError(f"unknown flow id {flow_id}")
+        return self._flows[flow_id]
+
+    @property
+    def active_flows(self) -> List[Flow]:
+        """Flows currently transferring."""
+        return [self._flows[fid] for fid in sorted(self._active)]
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until all flows complete (or ``until``); returns the stop time."""
+        return self.engine.run(until=until)
+
+    def _on_flow_start(self, engine: SimulationEngine, flow_id: int) -> None:
+        self._advance_progress(engine.now)
+        flow = self._flows[flow_id]
+        if flow.size_bytes <= _BYTES_EPSILON:
+            self._complete_flow(flow, engine.now + flow.latency)
+        else:
+            self._active.add(flow_id)
+        self._reallocate(engine.now)
+
+    def _advance_progress(self, now: float) -> None:
+        elapsed = now - self._last_update
+        if elapsed > _TIME_EPSILON:
+            for flow_id in self._active:
+                flow = self._flows[flow_id]
+                if math.isinf(flow.rate):
+                    flow.remaining_bytes = 0.0
+                else:
+                    flow.remaining_bytes = max(
+                        0.0, flow.remaining_bytes - flow.rate * elapsed
+                    )
+        self._last_update = now
+
+    def _reallocate(self, now: float) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._active:
+            return
+        flows = [self._flows[fid] for fid in self._active]
+        rates = max_min_fair_rates(flows)
+        for flow in flows:
+            flow.rate = rates[flow.flow_id]
+        next_completion = None
+        for flow in flows:
+            if flow.rate <= 0:
+                continue
+            if math.isinf(flow.rate):
+                time_left = 0.0
+            else:
+                time_left = flow.remaining_bytes / flow.rate
+            completion = now + time_left
+            if next_completion is None or completion < next_completion:
+                next_completion = completion
+        if next_completion is not None:
+            self._completion_event = self.engine.schedule(
+                max(now, next_completion), self._on_completion_check, None
+            )
+
+    def _on_completion_check(self, engine: SimulationEngine, _payload: object) -> None:
+        self._completion_event = None
+        self._advance_progress(engine.now)
+        finished = [
+            self._flows[fid]
+            for fid in sorted(self._active)
+            if self._flows[fid].remaining_bytes <= _BYTES_EPSILON
+        ]
+        for flow in finished:
+            self._active.discard(flow.flow_id)
+            self._complete_flow(flow, engine.now + flow.latency)
+        self._reallocate(engine.now)
+
+    def _complete_flow(self, flow: Flow, finish_time: float) -> None:
+        flow.finish_time = finish_time
+        flow.remaining_bytes = 0.0
+        flow.rate = 0.0
+        callback = self._completion_callbacks.pop(flow.flow_id, None)
+        if callback is not None:
+            callback(flow)

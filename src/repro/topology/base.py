@@ -1,0 +1,316 @@
+"""Generic topology graph used by all fabric builders.
+
+A :class:`Topology` is a directed multigraph of named nodes and unidirectional
+:class:`Link` objects.  GPUs, NIC ports, electrical switches, and OCS ports are
+all nodes; the per-fabric builders (`railopt`, `fattree`, `photonic`,
+`scaleup`) decide how to wire them.
+
+Two features matter for the rest of the library:
+
+* **capacity accounting** — each link knows its bandwidth and propagation
+  latency; the flow-level simulator shares link bandwidth among concurrent
+  flows.
+* **routing** — ``shortest_path`` provides hop-by-hop routes for packet
+  fabrics; circuit fabrics install explicit circuits instead (see
+  :mod:`repro.topology.photonic`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import TopologyError
+
+
+class NodeKind(str, Enum):
+    """The role a topology node plays in the fabric."""
+
+    GPU = "gpu"
+    NIC_PORT = "nic_port"
+    ELECTRICAL_SWITCH = "electrical_switch"
+    OCS = "ocs"
+    NVSWITCH = "nvswitch"
+
+
+class LinkKind(str, Enum):
+    """The medium / tier a link belongs to."""
+
+    SCALE_UP = "scale_up"
+    HOST = "host"
+    ELECTRICAL = "electrical"
+    OPTICAL_CIRCUIT = "optical_circuit"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A vertex of the fabric graph."""
+
+    name: str
+    kind: NodeKind
+    #: Free-form attributes (e.g. ``{"gpu_id": 12, "rail": 3}``).
+    attrs: Dict[str, object] = field(default_factory=dict, compare=False, hash=False)
+
+
+@dataclass
+class Link:
+    """A unidirectional link between two nodes.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint node names.
+    bandwidth:
+        Capacity in bytes/second.
+    latency:
+        Propagation plus fixed per-hop processing latency, seconds.
+    kind:
+        Medium / tier of the link.
+    link_id:
+        Unique integer assigned by the owning topology.
+    """
+
+    src: str
+    dst: str
+    bandwidth: float
+    latency: float
+    kind: LinkKind
+    link_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise TopologyError(
+                f"link {self.src}->{self.dst} must have positive bandwidth"
+            )
+        if self.latency < 0:
+            raise TopologyError(
+                f"link {self.src}->{self.dst} must have non-negative latency"
+            )
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        """A hashable identity for the link."""
+        return (self.src, self.dst, self.link_id)
+
+
+class Topology:
+    """A directed multigraph of nodes and links with simple routing helpers."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[int, Link] = {}
+        self._graph = nx.MultiDiGraph()
+        self._link_counter = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, name: str, kind: NodeKind, **attrs: object) -> Node:
+        """Add a node; re-adding an existing name raises :class:`TopologyError`."""
+        if name in self._nodes:
+            raise TopologyError(f"node {name!r} already exists in {self.name!r}")
+        node = Node(name=name, kind=kind, attrs=dict(attrs))
+        self._nodes[name] = node
+        self._graph.add_node(name, kind=kind, **attrs)
+        return node
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        bandwidth: float,
+        latency: float,
+        kind: LinkKind,
+    ) -> Link:
+        """Add a unidirectional link from ``src`` to ``dst``."""
+        self._require_node(src)
+        self._require_node(dst)
+        link = Link(
+            src=src,
+            dst=dst,
+            bandwidth=bandwidth,
+            latency=latency,
+            kind=kind,
+            link_id=next(self._link_counter),
+        )
+        self._links[link.link_id] = link
+        self._graph.add_edge(src, dst, key=link.link_id, link=link)
+        return link
+
+    def add_bidirectional_link(
+        self,
+        a: str,
+        b: str,
+        bandwidth: float,
+        latency: float,
+        kind: LinkKind,
+    ) -> Tuple[Link, Link]:
+        """Add a pair of opposite unidirectional links between ``a`` and ``b``."""
+        forward = self.add_link(a, b, bandwidth, latency, kind)
+        backward = self.add_link(b, a, bandwidth, latency, kind)
+        return forward, backward
+
+    def remove_link(self, link_id: int) -> None:
+        """Remove a link by id (used when tearing down optical circuits)."""
+        link = self._links.pop(link_id, None)
+        if link is None:
+            raise TopologyError(f"link id {link_id} does not exist")
+        self._graph.remove_edge(link.src, link.dst, key=link_id)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def node(self, name: str) -> Node:
+        """Return the node called ``name``."""
+        self._require_node(name)
+        return self._nodes[name]
+
+    def has_node(self, name: str) -> bool:
+        """Return whether a node called ``name`` exists."""
+        return name in self._nodes
+
+    def link(self, link_id: int) -> Link:
+        """Return the link with id ``link_id``."""
+        if link_id not in self._links:
+            raise TopologyError(f"link id {link_id} does not exist")
+        return self._links[link_id]
+
+    def nodes(self, kind: Optional[NodeKind] = None) -> List[Node]:
+        """Return all nodes, optionally filtered by kind."""
+        if kind is None:
+            return list(self._nodes.values())
+        return [node for node in self._nodes.values() if node.kind == kind]
+
+    def links(self, kind: Optional[LinkKind] = None) -> List[Link]:
+        """Return all links, optionally filtered by kind."""
+        if kind is None:
+            return list(self._links.values())
+        return [link for link in self._links.values() if link.kind == kind]
+
+    def links_between(self, src: str, dst: str) -> List[Link]:
+        """Return every link from ``src`` to ``dst`` (may be empty)."""
+        if not self._graph.has_edge(src, dst):
+            return []
+        return [data["link"] for data in self._graph[src][dst].values()]
+
+    def out_links(self, node: str) -> List[Link]:
+        """Return all links leaving ``node``."""
+        self._require_node(node)
+        return [
+            data["link"]
+            for _, _, data in self._graph.out_edges(node, data=True)
+        ]
+
+    def in_links(self, node: str) -> List[Link]:
+        """Return all links entering ``node``."""
+        self._require_node(node)
+        return [
+            data["link"]
+            for _, _, data in self._graph.in_edges(node, data=True)
+        ]
+
+    def degree(self, node: str) -> int:
+        """Return the number of outgoing links of ``node``."""
+        return len(self.out_links(node))
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the topology."""
+        return len(self._nodes)
+
+    @property
+    def num_links(self) -> int:
+        """Number of unidirectional links in the topology."""
+        return len(self._links)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def shortest_path(self, src: str, dst: str) -> List[Link]:
+        """Return one minimum-hop path from ``src`` to ``dst`` as a link list.
+
+        Ties are broken deterministically by node name order.  Raises
+        :class:`TopologyError` if no path exists.
+        """
+        self._require_node(src)
+        self._require_node(dst)
+        if src == dst:
+            return []
+        try:
+            node_path = nx.shortest_path(self._graph, src, dst)
+        except nx.NetworkXNoPath as exc:
+            raise TopologyError(f"no path from {src!r} to {dst!r}") from exc
+        links: List[Link] = []
+        for hop_src, hop_dst in zip(node_path, node_path[1:]):
+            candidates = self.links_between(hop_src, hop_dst)
+            candidates.sort(key=lambda link: link.link_id)
+            links.append(candidates[0])
+        return links
+
+    def path_latency(self, path: Sequence[Link]) -> float:
+        """Sum of link latencies along ``path``."""
+        return sum(link.latency for link in path)
+
+    def path_bottleneck_bandwidth(self, path: Sequence[Link]) -> float:
+        """Minimum link bandwidth along ``path`` (``inf`` for an empty path)."""
+        if not path:
+            return float("inf")
+        return min(link.bandwidth for link in path)
+
+    def connected(self, src: str, dst: str) -> bool:
+        """Return whether a directed path from ``src`` to ``dst`` exists."""
+        self._require_node(src)
+        self._require_node(dst)
+        return nx.has_path(self._graph, src, dst)
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Return a copy of the underlying networkx graph."""
+        return self._graph.copy()
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self.name!r}, nodes={self.num_nodes}, "
+            f"links={self.num_links})"
+        )
+
+    def _require_node(self, name: str) -> None:
+        if name not in self._nodes:
+            raise TopologyError(f"node {name!r} does not exist in {self.name!r}")
+
+
+def gpu_node_name(gpu_id: int) -> str:
+    """Canonical node name for a GPU."""
+    return f"gpu{gpu_id}"
+
+
+def nic_port_node_name(gpu_id: int, port: int) -> str:
+    """Canonical node name for one logical NIC port of a GPU."""
+    return f"gpu{gpu_id}.nic{port}"
+
+
+def switch_node_name(tier: str, index: int) -> str:
+    """Canonical node name for an electrical switch (e.g. ``rail0.leaf2``)."""
+    return f"{tier}.sw{index}"
+
+
+def ocs_node_name(rail: int, index: int = 0) -> str:
+    """Canonical node name for a rail OCS."""
+    return f"rail{rail}.ocs{index}"

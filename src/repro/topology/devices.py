@@ -1,0 +1,497 @@
+"""Hardware device profiles used by the photonic-rails reproduction.
+
+This module is the single place where per-device constants live: GPUs,
+scale-up domains (DGX/HGX/GB200 NVL72), NICs, optical transceivers, electrical
+packet switches, and the optical circuit switch (OCS) technologies the paper
+surveys in Table 3.
+
+The cost and power constants are *calibrated estimates* assembled from public
+price lists and datasheets referenced by the paper ([15, 16, 44, 48, 53]); the
+paper itself does not publish absolute per-device numbers.  The Fig. 7
+reproduction depends on the *counting methodology* (how many of each device a
+fabric needs), and the constants here only set the scale of the y-axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+from ..units import GBPS, MILLISECONDS, TFLOPS
+
+
+# --------------------------------------------------------------------------- #
+# GPUs
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU accelerator model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name (e.g. ``"H200"``).
+    peak_flops:
+        Peak dense throughput in FLOP/s for the training precision assumed by
+        the compute-time model (BF16 with FP32 accumulate, no sparsity).
+    memory_bytes:
+        HBM capacity in bytes.
+    memory_bandwidth:
+        HBM bandwidth in bytes/second.
+    nvlink_bandwidth:
+        Per-GPU aggregate NVLink (scale-up) bandwidth, bytes/second,
+        unidirectional.
+    nic_bandwidth:
+        Per-GPU scale-out (backend network) bandwidth, bytes/second,
+        unidirectional — one 400 Gbps NIC per GPU in DGX H100/H200 systems.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bytes: float
+    memory_bandwidth: float
+    nvlink_bandwidth: float
+    nic_bandwidth: float
+
+
+A100_40GB = GPUSpec(
+    name="A100-40GB",
+    peak_flops=312 * TFLOPS,
+    memory_bytes=40e9,
+    memory_bandwidth=1.555e12,
+    nvlink_bandwidth=300e9,
+    nic_bandwidth=200 * GBPS,
+)
+
+A100_80GB = GPUSpec(
+    name="A100-80GB",
+    peak_flops=312 * TFLOPS,
+    memory_bytes=80e9,
+    memory_bandwidth=2.039e12,
+    nvlink_bandwidth=300e9,
+    nic_bandwidth=200 * GBPS,
+)
+
+H100 = GPUSpec(
+    name="H100",
+    peak_flops=989 * TFLOPS,
+    memory_bytes=80e9,
+    memory_bandwidth=3.35e12,
+    nvlink_bandwidth=450e9,
+    nic_bandwidth=400 * GBPS,
+)
+
+H200 = GPUSpec(
+    name="H200",
+    peak_flops=989 * TFLOPS,
+    memory_bytes=141e9,
+    memory_bandwidth=4.8e12,
+    nvlink_bandwidth=450e9,
+    nic_bandwidth=400 * GBPS,
+)
+
+B200 = GPUSpec(
+    name="B200",
+    peak_flops=2250 * TFLOPS,
+    memory_bytes=192e9,
+    memory_bandwidth=8.0e12,
+    nvlink_bandwidth=900e9,
+    nic_bandwidth=400 * GBPS,
+)
+
+GPU_CATALOG: Dict[str, GPUSpec] = {
+    spec.name: spec for spec in (A100_40GB, A100_80GB, H100, H200, B200)
+}
+
+
+# --------------------------------------------------------------------------- #
+# Scale-up domains
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ScaleUpDomainSpec:
+    """A scale-up (high-bandwidth) domain: one DGX/HGX node or NVL72 rack.
+
+    The number of GPUs per scale-up domain equals the number of rails in a
+    rail-optimized fabric built from these domains (paper §2.1).
+    """
+
+    name: str
+    gpu: GPUSpec
+    gpus_per_domain: int
+    #: Effective per-GPU bandwidth of the scale-up interconnect for collective
+    #: traffic (bytes/s, unidirectional).  NVSwitch within a node is assumed
+    #: non-blocking.
+    interconnect_bandwidth: float
+    #: Fixed per-hop latency of the scale-up interconnect, seconds.
+    interconnect_latency: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_domain <= 0:
+            raise ConfigurationError(
+                f"scale-up domain {self.name!r} must contain at least one GPU"
+            )
+
+
+DGX_H200 = ScaleUpDomainSpec(
+    name="DGX-H200",
+    gpu=H200,
+    gpus_per_domain=8,
+    interconnect_bandwidth=450e9,
+)
+
+DGX_H100 = ScaleUpDomainSpec(
+    name="DGX-H100",
+    gpu=H100,
+    gpus_per_domain=8,
+    interconnect_bandwidth=450e9,
+)
+
+DGX_A100 = ScaleUpDomainSpec(
+    name="DGX-A100",
+    gpu=A100_80GB,
+    gpus_per_domain=8,
+    interconnect_bandwidth=300e9,
+)
+
+#: The Perlmutter GPU nodes used for the paper's §3.1 trace: 4× A100-40GB per
+#: node, NVLink 3.0, Slingshot-11 scale-out (4× 200 Gbps NICs per node).
+PERLMUTTER_NODE = ScaleUpDomainSpec(
+    name="Perlmutter-A100",
+    gpu=A100_40GB,
+    gpus_per_domain=4,
+    interconnect_bandwidth=300e9,
+)
+
+GB200_NVL72 = ScaleUpDomainSpec(
+    name="GB200-NVL72",
+    gpu=B200,
+    gpus_per_domain=72,
+    interconnect_bandwidth=900e9,
+)
+
+SCALEUP_CATALOG: Dict[str, ScaleUpDomainSpec] = {
+    spec.name: spec
+    for spec in (DGX_H200, DGX_H100, DGX_A100, PERLMUTTER_NODE, GB200_NVL72)
+}
+
+
+# --------------------------------------------------------------------------- #
+# NICs
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class NICPortConfig:
+    """One logical port configuration of a scale-out NIC.
+
+    The ConnectX-7 400G adapter (paper §3, [44, 48]) can be split into one
+    400 Gbps port, two 200 Gbps ports, or four 100 Gbps ports.  The number of
+    logical ports bounds the number of *simultaneous* optical circuits a GPU
+    can terminate, i.e. its node degree in the photonic rail.
+    """
+
+    num_ports: int
+    port_bandwidth: float
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Aggregate NIC bandwidth across all logical ports (bytes/s)."""
+        return self.num_ports * self.port_bandwidth
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """A scale-out NIC model with its supported port configurations."""
+
+    name: str
+    total_bandwidth: float
+    port_configs: Tuple[NICPortConfig, ...]
+
+    def config_with_ports(self, num_ports: int) -> NICPortConfig:
+        """Return the port configuration exposing ``num_ports`` logical ports."""
+        for config in self.port_configs:
+            if config.num_ports == num_ports:
+                return config
+        supported = sorted(c.num_ports for c in self.port_configs)
+        raise ConfigurationError(
+            f"NIC {self.name!r} has no {num_ports}-port configuration; "
+            f"supported: {supported}"
+        )
+
+
+CONNECTX7 = NICSpec(
+    name="ConnectX-7",
+    total_bandwidth=400 * GBPS,
+    port_configs=(
+        NICPortConfig(num_ports=1, port_bandwidth=400 * GBPS),
+        NICPortConfig(num_ports=2, port_bandwidth=200 * GBPS),
+        NICPortConfig(num_ports=4, port_bandwidth=100 * GBPS),
+    ),
+)
+
+NIC_CATALOG: Dict[str, NICSpec] = {CONNECTX7.name: CONNECTX7}
+
+
+# --------------------------------------------------------------------------- #
+# Transceivers and electrical switches (cost / power constants for Fig. 7)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TransceiverSpec:
+    """A pluggable optical transceiver (one fiber end)."""
+
+    name: str
+    bandwidth: float
+    cost_dollars: float
+    power_watts: float
+
+
+#: 400GBASE-DR4/XDR4 QSFP-DD module (paper reference [15]).
+TRANSCEIVER_400G = TransceiverSpec(
+    name="400G-QSFP-DD",
+    bandwidth=400 * GBPS,
+    cost_dollars=550.0,
+    power_watts=9.0,
+)
+
+
+@dataclass(frozen=True)
+class ElectricalSwitchSpec:
+    """An electrical packet switch (e.g. Tomahawk-4 based 64×400GbE, [16])."""
+
+    name: str
+    radix: int
+    port_bandwidth: float
+    cost_dollars: float
+    power_watts: float
+
+
+TOMAHAWK4_64X400G = ElectricalSwitchSpec(
+    name="Tomahawk4-64x400G",
+    radix=64,
+    port_bandwidth=400 * GBPS,
+    cost_dollars=26_000.0,
+    power_watts=1_747.0,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Optical circuit switch technologies (paper Table 3)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class OCSTechnology:
+    """An optical circuit switch technology surveyed in the paper's Table 3.
+
+    Attributes
+    ----------
+    name:
+        Technology family (e.g. ``"3D MEMS"``).
+    vendor:
+        Example vendor the paper cites.
+    reconfiguration_time:
+        Time to tear down and set up circuits, in seconds.
+    radix:
+        Number of duplex ports.
+    cost_per_port:
+        Estimated cost per port, dollars.
+    power_per_port:
+        Estimated power per port, watts.  OCSes have no per-packet processing
+        so this is orders of magnitude below electrical switch ports.
+    """
+
+    name: str
+    vendor: str
+    reconfiguration_time: float
+    radix: int
+    cost_per_port: float = 300.0
+    power_per_port: float = 0.15
+
+    def max_gpus(self, scaleup: ScaleUpDomainSpec, nic_ports_per_gpu: int = 2) -> int:
+        """Maximum GPU count of a photonic rail fabric built from this OCS.
+
+        Reproduces Table 3's scaling rule: with the 2-port NIC configuration
+        and bidirectional transceivers, each GPU terminates
+        ``nic_ports_per_gpu`` ports on its rail OCS, so each rail can span
+        ``radix / nic_ports_per_gpu`` scale-up domains and the fabric holds
+        ``gpus_per_domain * radix / nic_ports_per_gpu`` GPUs.
+        """
+        if nic_ports_per_gpu <= 0:
+            raise ConfigurationError("nic_ports_per_gpu must be positive")
+        return scaleup.gpus_per_domain * (self.radix // nic_ports_per_gpu)
+
+
+PLZT_EPIPHOTONICS = OCSTechnology(
+    name="PLZT",
+    vendor="EpiPhotonics",
+    reconfiguration_time=0.00001 * MILLISECONDS,
+    radix=16,
+)
+
+SIP_LIGHTMATTER = OCSTechnology(
+    name="SiP",
+    vendor="Lightmatter",
+    reconfiguration_time=0.007 * MILLISECONDS,
+    radix=32,
+)
+
+ROTORNET_INFOCUS = OCSTechnology(
+    name="RotorNet",
+    vendor="InFocus",
+    reconfiguration_time=0.01 * MILLISECONDS,
+    radix=128,
+)
+
+MEMS_3D_CALIENT = OCSTechnology(
+    name="3D MEMS",
+    vendor="Calient",
+    reconfiguration_time=15 * MILLISECONDS,
+    radix=320,
+)
+
+PIEZO_POLATIS = OCSTechnology(
+    name="Piezo",
+    vendor="Polatis",
+    reconfiguration_time=25 * MILLISECONDS,
+    radix=576,
+)
+
+LIQUID_CRYSTAL_COHERENT = OCSTechnology(
+    name="Liquid crystal",
+    vendor="Coherent",
+    reconfiguration_time=100 * MILLISECONDS,
+    radix=512,
+)
+
+ROBOTIC_TELESCENT = OCSTechnology(
+    name="Robotic",
+    vendor="Telescent",
+    reconfiguration_time=120_000 * MILLISECONDS,
+    radix=1008,
+)
+
+#: The Table 3 rows, in the paper's order.
+OCS_TECHNOLOGIES: Tuple[OCSTechnology, ...] = (
+    PLZT_EPIPHOTONICS,
+    SIP_LIGHTMATTER,
+    ROTORNET_INFOCUS,
+    MEMS_3D_CALIENT,
+    PIEZO_POLATIS,
+    LIQUID_CRYSTAL_COHERENT,
+    ROBOTIC_TELESCENT,
+)
+
+OCS_CATALOG: Dict[str, OCSTechnology] = {tech.name: tech for tech in OCS_TECHNOLOGIES}
+
+
+# --------------------------------------------------------------------------- #
+# Cluster specification
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A GPU cluster: a number of identical scale-up domains plus NIC choice.
+
+    This is the hardware-side input to topology builders, the cost/power
+    models, and the simulator.
+    """
+
+    scaleup: ScaleUpDomainSpec
+    num_domains: int
+    nic: NICSpec = CONNECTX7
+    nic_ports_per_gpu: int = 1
+    transceiver: TransceiverSpec = TRANSCEIVER_400G
+    electrical_switch: ElectricalSwitchSpec = TOMAHAWK4_64X400G
+    ocs: OCSTechnology = PIEZO_POLATIS
+
+    def __post_init__(self) -> None:
+        if self.num_domains <= 0:
+            raise ConfigurationError("a cluster needs at least one scale-up domain")
+        if self.nic_ports_per_gpu not in {c.num_ports for c in self.nic.port_configs}:
+            raise ConfigurationError(
+                f"NIC {self.nic.name!r} does not support a "
+                f"{self.nic_ports_per_gpu}-port configuration"
+            )
+
+    @property
+    def num_gpus(self) -> int:
+        """Total number of GPUs in the cluster."""
+        return self.num_domains * self.scaleup.gpus_per_domain
+
+    @property
+    def num_rails(self) -> int:
+        """Number of rails (= GPUs per scale-up domain, paper §2.1)."""
+        return self.scaleup.gpus_per_domain
+
+    @property
+    def nic_port_config(self) -> NICPortConfig:
+        """The active NIC port configuration."""
+        return self.nic.config_with_ports(self.nic_ports_per_gpu)
+
+    @property
+    def scaleout_port_bandwidth(self) -> float:
+        """Bandwidth of one scale-out NIC port (bytes/s)."""
+        return self.nic_port_config.port_bandwidth
+
+    def gpu_id(self, domain: int, local_rank: int) -> int:
+        """Return the global GPU id of ``local_rank`` within ``domain``."""
+        if not 0 <= domain < self.num_domains:
+            raise ConfigurationError(f"domain {domain} out of range")
+        if not 0 <= local_rank < self.scaleup.gpus_per_domain:
+            raise ConfigurationError(f"local rank {local_rank} out of range")
+        return domain * self.scaleup.gpus_per_domain + local_rank
+
+    def domain_of(self, gpu_id: int) -> int:
+        """Return the scale-up domain index hosting ``gpu_id``."""
+        self._check_gpu(gpu_id)
+        return gpu_id // self.scaleup.gpus_per_domain
+
+    def local_rank_of(self, gpu_id: int) -> int:
+        """Return the local rank (= rail index) of ``gpu_id`` inside its domain."""
+        self._check_gpu(gpu_id)
+        return gpu_id % self.scaleup.gpus_per_domain
+
+    def rail_of(self, gpu_id: int) -> int:
+        """Return the rail a GPU attaches to (identical to its local rank)."""
+        return self.local_rank_of(gpu_id)
+
+    def gpus_on_rail(self, rail: int) -> Tuple[int, ...]:
+        """Return the global ids of all GPUs attached to ``rail``."""
+        if not 0 <= rail < self.num_rails:
+            raise ConfigurationError(f"rail {rail} out of range")
+        return tuple(
+            self.gpu_id(domain, rail) for domain in range(self.num_domains)
+        )
+
+    def _check_gpu(self, gpu_id: int) -> None:
+        if not 0 <= gpu_id < self.num_gpus:
+            raise ConfigurationError(
+                f"GPU id {gpu_id} out of range for cluster of {self.num_gpus}"
+            )
+
+
+def perlmutter_testbed(num_nodes: int = 4) -> ClusterSpec:
+    """The 4-node Perlmutter testbed used for the paper's §3.1 trace study."""
+    return ClusterSpec(scaleup=PERLMUTTER_NODE, num_domains=num_nodes)
+
+
+def dgx_h200_cluster(num_gpus: int, nic_ports_per_gpu: int = 1) -> ClusterSpec:
+    """A DGX H200 cluster with ``num_gpus`` GPUs (must be a multiple of 8)."""
+    gpus_per_domain = DGX_H200.gpus_per_domain
+    if num_gpus % gpus_per_domain != 0:
+        raise ConfigurationError(
+            f"num_gpus must be a multiple of {gpus_per_domain}, got {num_gpus}"
+        )
+    return ClusterSpec(
+        scaleup=DGX_H200,
+        num_domains=num_gpus // gpus_per_domain,
+        nic_ports_per_gpu=nic_ports_per_gpu,
+    )

@@ -1,0 +1,191 @@
+"""Three-tier fat-tree (folded Clos) fabric builder — the second Fig. 7 baseline.
+
+The fat-tree here is the classical full-bisection k-ary design [Al-Fares et
+al.]: with k-port switches it supports ``k^3/4`` hosts using ``5k^2/4``
+switches (``k^2/4`` core + ``k`` pods of ``k/2`` edge and ``k/2`` aggregation
+switches each).  For clusters smaller than a full fat-tree the builder uses the
+standard "sliced" construction: only as many pods (and the proportional share
+of core switches) as needed are provisioned, while keeping full bisection for
+the provisioned part.
+
+For Fig. 7 only the inventory matters; the graph construction is provided so
+the same simulator can run packet-fabric baselines end-to-end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import TopologyError
+from .base import (
+    LinkKind,
+    NodeKind,
+    Topology,
+    nic_port_node_name,
+    switch_node_name,
+)
+from .devices import ClusterSpec
+from .railopt import FabricInventory, add_host_ports, _switch_latency
+from .scaleup import add_scaleup_domains
+
+
+@dataclass
+class FatTreeFabric:
+    """A fat-tree fabric: topology plus inventory and tier sizes."""
+
+    cluster: ClusterSpec
+    topology: Topology
+    inventory: FabricInventory
+    edge_switches: int
+    aggregation_switches: int
+    core_switches: int
+
+
+def _fattree_counts(num_endpoints: int, radix: int) -> tuple:
+    """Return (edge, agg, core, edge_agg_links, agg_core_links) switch counts.
+
+    Uses the sliced full-bisection construction: hosts attach to edge switches
+    at ``radix/2`` per switch; every edge switch has ``radix/2`` uplinks, and
+    the aggregation and core tiers are sized to carry them at 1:1.
+    """
+    if num_endpoints <= 0:
+        raise TopologyError("fat-tree needs at least one endpoint")
+    half = radix // 2
+    edge = max(1, math.ceil(num_endpoints / half))
+    # Pods of `half` edge switches; partially-filled last pod allowed.
+    pods = max(1, math.ceil(edge / half))
+    agg = pods * half if pods > 1 else edge
+    edge_agg_links = edge * half
+    # Core sized for the aggregate uplink bandwidth of all aggregation switches.
+    agg_core_links = agg * half if pods > 1 else 0
+    core = max(0, math.ceil(agg_core_links / radix)) if pods > 1 else 0
+    if pods == 1:
+        # A single pod degenerates to a 2-tier leaf/spine.
+        core = 0
+        agg_core_links = 0
+        agg = max(1, math.ceil(edge_agg_links / radix))
+    return edge, agg, core, edge_agg_links, agg_core_links
+
+
+def fat_tree_inventory(cluster: ClusterSpec) -> FabricInventory:
+    """Closed-form fat-tree bill of materials for the Fig. 7 sweeps."""
+    radix = cluster.electrical_switch.radix
+    ports_per_gpu = cluster.nic_port_config.num_ports
+    num_endpoints = cluster.num_gpus * ports_per_gpu
+    edge, agg, core, edge_agg_links, agg_core_links = _fattree_counts(
+        num_endpoints, radix
+    )
+    host_links = num_endpoints
+    inter_switch_links = edge_agg_links + agg_core_links
+    transceivers = 2 * host_links + 2 * inter_switch_links
+    return FabricInventory(
+        electrical_switches=edge + agg + core,
+        ocs_ports=0,
+        transceivers=transceivers,
+        links=host_links + inter_switch_links,
+    )
+
+
+def build_fat_tree_fabric(cluster: ClusterSpec) -> FatTreeFabric:
+    """Build the fat-tree topology graph for ``cluster``.
+
+    The graph aggregates parallel uplinks between a pair of switches into a
+    single fat link (bandwidth scaled accordingly) to keep the multigraph
+    small; the inventory still counts individual fibers and transceivers.
+    """
+    radix = cluster.electrical_switch.radix
+    port_bandwidth = cluster.nic_port_config.port_bandwidth
+    switch_port_bw = cluster.electrical_switch.port_bandwidth
+    ports_per_gpu = cluster.nic_port_config.num_ports
+    num_endpoints = cluster.num_gpus * ports_per_gpu
+    edge, agg, core, edge_agg_links, agg_core_links = _fattree_counts(
+        num_endpoints, radix
+    )
+
+    topology = Topology(name=f"fat-tree[{cluster.num_gpus}]")
+    add_scaleup_domains(topology, cluster)
+    add_host_ports(topology, cluster)
+
+    half = radix // 2
+    for index in range(edge):
+        topology.add_node(
+            switch_node_name("edge", index), NodeKind.ELECTRICAL_SWITCH, tier="edge"
+        )
+    for index in range(agg):
+        topology.add_node(
+            switch_node_name("agg", index), NodeKind.ELECTRICAL_SWITCH, tier="agg"
+        )
+    for index in range(core):
+        topology.add_node(
+            switch_node_name("core", index), NodeKind.ELECTRICAL_SWITCH, tier="core"
+        )
+
+    # Hosts to edge switches, round-robin in half-radix blocks.
+    endpoint = 0
+    for gpu_id in range(cluster.num_gpus):
+        for port in range(ports_per_gpu):
+            edge_index = endpoint // half
+            topology.add_bidirectional_link(
+                nic_port_node_name(gpu_id, port),
+                switch_node_name("edge", edge_index),
+                bandwidth=port_bandwidth,
+                latency=_switch_latency(),
+                kind=LinkKind.ELECTRICAL,
+            )
+            endpoint += 1
+
+    # Edge to aggregation: connect each edge switch to every agg switch in its
+    # pod (or all agg switches when there is a single pod).
+    pods = max(1, math.ceil(edge / half))
+    aggs_per_pod = agg // pods if pods > 1 else agg
+    for edge_index in range(edge):
+        pod = edge_index // half if pods > 1 else 0
+        pod_aggs = (
+            range(pod * aggs_per_pod, (pod + 1) * aggs_per_pod)
+            if pods > 1
+            else range(agg)
+        )
+        pod_aggs = list(pod_aggs)
+        if not pod_aggs:
+            continue
+        per_agg_fibers = max(1, half // len(pod_aggs))
+        for agg_index in pod_aggs:
+            topology.add_bidirectional_link(
+                switch_node_name("edge", edge_index),
+                switch_node_name("agg", agg_index),
+                bandwidth=switch_port_bw * per_agg_fibers,
+                latency=_switch_latency(),
+                kind=LinkKind.ELECTRICAL,
+            )
+
+    # Aggregation to core.
+    if core:
+        per_core_fibers = max(1, (agg * half) // (agg * core)) if core else 1
+        for agg_index in range(agg):
+            for core_index in range(core):
+                topology.add_bidirectional_link(
+                    switch_node_name("agg", agg_index),
+                    switch_node_name("core", core_index),
+                    bandwidth=switch_port_bw * per_core_fibers,
+                    latency=_switch_latency(),
+                    kind=LinkKind.ELECTRICAL,
+                )
+
+    host_links = num_endpoints
+    inter_switch_links = edge_agg_links + agg_core_links
+    inventory = FabricInventory(
+        electrical_switches=edge + agg + core,
+        ocs_ports=0,
+        transceivers=2 * host_links + 2 * inter_switch_links,
+        links=host_links + inter_switch_links,
+    )
+    return FatTreeFabric(
+        cluster=cluster,
+        topology=topology,
+        inventory=inventory,
+        edge_switches=edge,
+        aggregation_switches=agg,
+        core_switches=core,
+    )

@@ -1,0 +1,346 @@
+"""Photonic rail-optimized fabric: the paper's proposed data plane.
+
+Each rail's electrical packet switches are replaced by one optical circuit
+switch (OCS).  Every GPU of rank *r* contributes its scale-out NIC port(s) to
+rail *r*'s OCS; the OCS provides point-to-point circuits between these ports.
+There is no spine and no electrical switching on the data path — the logical
+structure of the rail-optimized topology (scale-up domains, cabling,
+GPU-to-rail mapping) is retained unchanged (paper §2.1).
+
+The fabric exposes:
+
+* a per-rail :class:`~repro.topology.ocs.OpticalCircuitSwitch` whose crossbar
+  state is the ground truth for installed circuits;
+* a :class:`~repro.topology.base.Topology` view in which installed circuits
+  appear as ``OPTICAL_CIRCUIT`` links between NIC-port nodes, so the flow-level
+  simulator routes over circuits exactly the way it routes over packet links;
+* helpers to build ring configurations for communication groups, which is what
+  the Opus controller installs for ring-based collectives;
+* a :class:`~repro.topology.railopt.FabricInventory` for the Fig. 7 cost/power
+  models (OCS ports plus host-side transceivers only — the OCS is transparent).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import CircuitError, ConfigurationError, TopologyError
+from .base import (
+    LinkKind,
+    NodeKind,
+    Topology,
+    gpu_node_name,
+    nic_port_node_name,
+    ocs_node_name,
+)
+from .devices import ClusterSpec, OCSTechnology
+from .ocs import Circuit, CircuitConfiguration, OpticalCircuitSwitch
+from .railopt import FabricInventory, add_host_ports, _host_latency
+from .scaleup import add_scaleup_domains
+
+
+@dataclass(frozen=True)
+class RailEndpoint:
+    """One OCS-port endpoint on a rail: a (domain, NIC-port) pair."""
+
+    domain: int
+    nic_port: int = 0
+
+
+class PhotonicRail:
+    """One rail of the photonic fabric: an OCS plus its port mapping.
+
+    The OCS port assigned to a (domain, nic_port) endpoint is
+    ``domain * ports_per_gpu + nic_port``; this is a fixed cabling decision
+    made at build time, mirroring how fibers are physically patched once.
+    """
+
+    def __init__(
+        self,
+        rail: int,
+        cluster: ClusterSpec,
+        technology: Optional[OCSTechnology] = None,
+    ) -> None:
+        self.rail = rail
+        self.cluster = cluster
+        self.technology = technology or cluster.ocs
+        self.ports_per_gpu = cluster.nic_port_config.num_ports
+        required_ports = cluster.num_domains * self.ports_per_gpu
+        if required_ports > self.technology.radix:
+            raise ConfigurationError(
+                f"rail {rail} needs {required_ports} OCS ports but "
+                f"{self.technology.name} ({self.technology.vendor}) only has "
+                f"radix {self.technology.radix}; use a larger-radix OCS or "
+                f"fewer scale-up domains"
+            )
+        self.ocs = OpticalCircuitSwitch(
+            name=ocs_node_name(rail), technology=self.technology
+        )
+
+    # ------------------------------------------------------------------ #
+    # Port mapping
+    # ------------------------------------------------------------------ #
+
+    def ocs_port(self, endpoint: RailEndpoint) -> int:
+        """Return the OCS port wired to ``endpoint``."""
+        if not 0 <= endpoint.domain < self.cluster.num_domains:
+            raise ConfigurationError(f"domain {endpoint.domain} out of range")
+        if not 0 <= endpoint.nic_port < self.ports_per_gpu:
+            raise ConfigurationError(f"NIC port {endpoint.nic_port} out of range")
+        return endpoint.domain * self.ports_per_gpu + endpoint.nic_port
+
+    def endpoint_of(self, ocs_port: int) -> RailEndpoint:
+        """Return the (domain, NIC-port) endpoint wired to ``ocs_port``."""
+        if not 0 <= ocs_port < self.cluster.num_domains * self.ports_per_gpu:
+            raise ConfigurationError(f"OCS port {ocs_port} is not cabled")
+        return RailEndpoint(
+            domain=ocs_port // self.ports_per_gpu,
+            nic_port=ocs_port % self.ports_per_gpu,
+        )
+
+    def gpu_of(self, endpoint: RailEndpoint) -> int:
+        """Return the global GPU id owning ``endpoint`` on this rail."""
+        return self.cluster.gpu_id(endpoint.domain, self.rail)
+
+    # ------------------------------------------------------------------ #
+    # Configuration builders
+    # ------------------------------------------------------------------ #
+
+    def circuit_between(
+        self, a: RailEndpoint, b: RailEndpoint
+    ) -> Circuit:
+        """Build (but do not install) a circuit between two endpoints."""
+        return Circuit(self.ocs_port(a), self.ocs_port(b))
+
+    def ring_configuration(
+        self,
+        domains: Sequence[int],
+        nic_ports: Tuple[int, ...] = (0,),
+    ) -> CircuitConfiguration:
+        """Build a ring over ``domains`` on this rail.
+
+        With a single NIC port per GPU the ring uses that port for both the
+        upstream and downstream neighbor only when the group has exactly two
+        members (the circuit is duplex); larger groups need two ports per GPU
+        (``nic_ports=(0, 1)``), one toward each ring neighbor — this is
+        exactly the paper's degree constraint C1/C3.
+
+        Parameters
+        ----------
+        domains:
+            Scale-up domain indices of the group members, in ring order.
+        nic_ports:
+            The NIC port(s) each member dedicates to this ring.
+        """
+        members = list(domains)
+        if len(members) < 2:
+            return CircuitConfiguration(())
+        if len(set(members)) != len(members):
+            raise ConfigurationError("ring members must be distinct domains")
+        if len(members) == 2:
+            a, b = members
+            circuit = self.circuit_between(
+                RailEndpoint(a, nic_ports[0]), RailEndpoint(b, nic_ports[0])
+            )
+            return CircuitConfiguration((circuit,))
+        if len(nic_ports) < 2:
+            raise ConfigurationError(
+                f"a ring over {len(members)} domains needs two NIC ports per GPU "
+                "(one per neighbor); got only one (constraint C1/C3)"
+            )
+        circuits = []
+        for index, domain in enumerate(members):
+            next_domain = members[(index + 1) % len(members)]
+            circuits.append(
+                self.circuit_between(
+                    RailEndpoint(domain, nic_ports[1]),
+                    RailEndpoint(next_domain, nic_ports[0]),
+                )
+            )
+        return CircuitConfiguration(circuits)
+
+    def pairwise_configuration(
+        self, pairs: Iterable[Tuple[int, int]], nic_port: int = 0
+    ) -> CircuitConfiguration:
+        """Build point-to-point circuits between the given domain pairs."""
+        circuits = [
+            self.circuit_between(
+                RailEndpoint(a, nic_port), RailEndpoint(b, nic_port)
+            )
+            for a, b in pairs
+        ]
+        return CircuitConfiguration(circuits)
+
+    def __repr__(self) -> str:
+        return (
+            f"PhotonicRail(rail={self.rail}, ocs={self.technology.name!r}, "
+            f"circuits={len(self.ocs.installed)})"
+        )
+
+
+@dataclass
+class PhotonicRailFabric:
+    """The full photonic rail fabric: per-rail OCSes plus a topology view."""
+
+    cluster: ClusterSpec
+    topology: Topology
+    rails: Dict[int, PhotonicRail]
+    inventory: FabricInventory
+    #: topology link ids currently realizing each installed circuit,
+    #: keyed by (rail, circuit).
+    _circuit_links: Dict[Tuple[int, Circuit], Tuple[int, int]] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------ #
+    # Circuit management
+    # ------------------------------------------------------------------ #
+
+    def rail(self, rail: int) -> PhotonicRail:
+        """Return the :class:`PhotonicRail` for rail index ``rail``."""
+        if rail not in self.rails:
+            raise TopologyError(f"rail {rail} does not exist")
+        return self.rails[rail]
+
+    def installed_configuration(self, rail: int) -> CircuitConfiguration:
+        """Return the circuit configuration currently installed on ``rail``."""
+        return self.rail(rail).ocs.installed
+
+    def apply_configuration(
+        self, rail: int, configuration: CircuitConfiguration
+    ) -> Tuple[int, int]:
+        """Reconfigure ``rail`` to ``configuration`` and update the topology.
+
+        Returns ``(num_torn_down, num_set_up)``.  The *time* cost of the
+        reconfiguration is not modelled here — the simulator and the Opus
+        controller account for the switching delay; this method only mutates
+        connectivity state.
+        """
+        photonic_rail = self.rail(rail)
+        installed = photonic_rail.ocs.installed
+        tear_down, set_up = installed.delta(configuration)
+        result = photonic_rail.ocs.apply(configuration)
+        for circuit in tear_down:
+            self._remove_circuit_links(rail, circuit)
+        for circuit in set_up:
+            self._add_circuit_links(rail, photonic_rail, circuit)
+        return result
+
+    def clear_rail(self, rail: int) -> None:
+        """Tear down every circuit on ``rail``."""
+        self.apply_configuration(rail, CircuitConfiguration(()))
+
+    def circuit_path_exists(self, src_gpu: int, dst_gpu: int) -> bool:
+        """Return whether the installed circuits give ``src_gpu`` a direct
+        rail path to ``dst_gpu`` (same rail and a circuit between them)."""
+        cluster = self.cluster
+        if cluster.rail_of(src_gpu) != cluster.rail_of(dst_gpu):
+            return False
+        rail = cluster.rail_of(src_gpu)
+        photonic_rail = self.rail(rail)
+        src_domain = cluster.domain_of(src_gpu)
+        dst_domain = cluster.domain_of(dst_gpu)
+        installed = photonic_rail.ocs.installed
+        for nic_port in range(photonic_rail.ports_per_gpu):
+            src_port = photonic_rail.ocs_port(RailEndpoint(src_domain, nic_port))
+            peer = installed.peer_of(src_port)
+            if peer is None:
+                continue
+            if photonic_rail.endpoint_of(peer).domain == dst_domain:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Internal topology maintenance
+    # ------------------------------------------------------------------ #
+
+    def _add_circuit_links(
+        self, rail: int, photonic_rail: PhotonicRail, circuit: Circuit
+    ) -> None:
+        endpoint_a = photonic_rail.endpoint_of(circuit.port_a)
+        endpoint_b = photonic_rail.endpoint_of(circuit.port_b)
+        gpu_a = photonic_rail.gpu_of(endpoint_a)
+        gpu_b = photonic_rail.gpu_of(endpoint_b)
+        node_a = nic_port_node_name(gpu_a, endpoint_a.nic_port)
+        node_b = nic_port_node_name(gpu_b, endpoint_b.nic_port)
+        bandwidth = self.cluster.nic_port_config.port_bandwidth
+        forward, backward = self.topology.add_bidirectional_link(
+            node_a,
+            node_b,
+            bandwidth=bandwidth,
+            latency=_host_latency(),
+            kind=LinkKind.OPTICAL_CIRCUIT,
+        )
+        self._circuit_links[(rail, circuit)] = (forward.link_id, backward.link_id)
+
+    def _remove_circuit_links(self, rail: int, circuit: Circuit) -> None:
+        link_ids = self._circuit_links.pop((rail, circuit), None)
+        if link_ids is None:
+            raise CircuitError(
+                f"no topology links recorded for circuit {circuit} on rail {rail}"
+            )
+        for link_id in link_ids:
+            self.topology.remove_link(link_id)
+
+
+def photonic_rail_inventory(cluster: ClusterSpec) -> FabricInventory:
+    """Closed-form photonic-rail bill of materials for the Fig. 7 sweeps.
+
+    Every NIC port is cabled to one OCS port; transceivers exist only at the
+    host ends (the OCS is optically transparent), and the number of
+    (potential) circuits is one per two ports.
+    """
+    ports_per_gpu = cluster.nic_port_config.num_ports
+    nic_ports = cluster.num_gpus * ports_per_gpu
+    return FabricInventory(
+        electrical_switches=0,
+        ocs_ports=nic_ports,
+        transceivers=nic_ports,
+        links=nic_ports // 2,
+    )
+
+
+def build_photonic_rail_fabric(
+    cluster: ClusterSpec,
+    technology: Optional[OCSTechnology] = None,
+    initial_configurations: Optional[Mapping[int, CircuitConfiguration]] = None,
+) -> PhotonicRailFabric:
+    """Build the photonic rail fabric for ``cluster``.
+
+    Parameters
+    ----------
+    cluster:
+        Hardware description; ``cluster.ocs`` supplies the default OCS
+        technology.
+    technology:
+        Override the OCS technology for every rail (e.g. to sweep Table 3).
+    initial_configurations:
+        Optional per-rail circuit configurations to install at build time.
+    """
+    topology = Topology(name=f"photonic-rail[{cluster.num_gpus}]")
+    add_scaleup_domains(topology, cluster)
+    add_host_ports(topology, cluster)
+
+    rails: Dict[int, PhotonicRail] = {}
+    for rail in range(cluster.num_rails):
+        photonic_rail = PhotonicRail(rail, cluster, technology=technology)
+        topology.add_node(
+            ocs_node_name(rail),
+            NodeKind.OCS,
+            rail=rail,
+            technology=photonic_rail.technology.name,
+        )
+        rails[rail] = photonic_rail
+
+    fabric = PhotonicRailFabric(
+        cluster=cluster,
+        topology=topology,
+        rails=rails,
+        inventory=photonic_rail_inventory(cluster),
+    )
+    if initial_configurations:
+        for rail, configuration in initial_configurations.items():
+            fabric.apply_configuration(rail, configuration)
+    return fabric
