@@ -1,40 +1,43 @@
-"""High-level facade: simulate a workload on photonic or electrical rails.
+"""High-level facade: simulate a workload on any registered fabric backend.
 
 :class:`PhotonicRailSystem` bundles the pieces a user otherwise wires by hand
 (cluster, workload DAG, device mesh, fabric, Opus shim/controller, executor)
-behind a small API, and provides the comparison helpers the examples and the
-Fig. 8 benchmark build on:
+behind a small API.  Since the fabric-agnostic experiment layer landed
+(:mod:`repro.experiments`), the facade is a thin wrapper over the backend
+registry — :meth:`PhotonicRailSystem.run_backend` simulates the workload on
+*any* registered fabric, while :meth:`PhotonicRailSystem.run` /
+:meth:`PhotonicRailSystem.run_baseline` keep the original photonic/electrical
+API the examples and the Fig. 8 benchmark build on:
 
 * :meth:`PhotonicRailSystem.run` — simulate N iterations on the photonic rail;
 * :meth:`PhotonicRailSystem.run_baseline` — the same workload on electrical
   (fully connected) rails;
-* :func:`reconfiguration_latency_sweep` — the Fig. 8 experiment: normalized
-  iteration time versus OCS switching delay, with and without provisioning.
+* :func:`reconfiguration_latency_sweep` — the Fig. 8 experiment, now driven
+  through the memoized parallel :class:`~repro.experiments.runner.ExperimentRunner`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
+from ..experiments.backends import create_network
+from ..experiments.runner import ExperimentRunner, Scenario, ScenarioResult
 from ..parallelism.config import WorkloadConfig
 from ..parallelism.dag import DagBuildOptions, IterationDAG, build_iteration_dag
 from ..parallelism.groups import GroupRegistry
 from ..parallelism.mesh import DeviceMesh
 from ..parallelism.trace import TrainingTrace
 from ..simulator.executor import DAGExecutor, SimulationConfig
-from ..simulator.network import ElectricalRailNetworkModel
-from ..simulator.metrics import mean_iteration_time
+from ..simulator.network import NetworkModel
 from ..topology.devices import ClusterSpec
-from ..topology.photonic import build_photonic_rail_fabric
 from .network import PhotonicRailNetworkModel
-from .shim import ShimOptions
 
 
 @dataclass
 class SystemConfig:
-    """Knobs shared by the photonic and baseline simulations."""
+    """Knobs shared by every backend simulation."""
 
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     dag_options: DagBuildOptions = field(default_factory=DagBuildOptions)
@@ -42,7 +45,7 @@ class SystemConfig:
 
 
 class PhotonicRailSystem:
-    """One workload on one cluster, simulated end to end."""
+    """One workload on one cluster, simulated end to end on any backend."""
 
     def __init__(
         self,
@@ -68,6 +71,28 @@ class PhotonicRailSystem:
     # Simulations
     # ------------------------------------------------------------------ #
 
+    def run_backend(
+        self,
+        backend: str,
+        num_iterations: Optional[int] = None,
+        **knobs: object,
+    ) -> Tuple[TrainingTrace, NetworkModel]:
+        """Simulate the workload on any registered fabric backend.
+
+        ``knobs`` are backend-specific (see
+        :func:`repro.experiments.backends.available_backends`); the freshly
+        built network model is returned alongside the trace so callers can
+        inspect controller state, installed circuits, etc.
+        """
+        network = create_network(
+            backend, self.cluster, self.mesh, registry=self.registry, **knobs
+        )
+        executor = DAGExecutor(
+            self.dag, self.cluster, network, config=self.config.simulation
+        )
+        trace = executor.run_training(num_iterations or self.config.num_iterations)
+        return trace, network
+
     def run(
         self,
         reconfiguration_delay: Optional[float] = None,
@@ -86,19 +111,17 @@ class PhotonicRailSystem:
         num_iterations:
             Number of iterations to simulate (default from the system config).
         """
-        fabric = build_photonic_rail_fabric(self.cluster)
-        network = PhotonicRailNetworkModel(
-            cluster=self.cluster,
-            mesh=self.mesh,
-            fabric=fabric,
+        trace, network = self.run_backend(
+            "photonic",
+            num_iterations=num_iterations,
             reconfiguration_delay=reconfiguration_delay,
-            shim_options=ShimOptions(provisioning=provisioning),
-            registry=self.registry,
+            provisioning=provisioning,
         )
-        executor = DAGExecutor(
-            self.dag, self.cluster, network, config=self.config.simulation
-        )
-        trace = executor.run_training(num_iterations or self.config.num_iterations)
+        if not isinstance(network, PhotonicRailNetworkModel):
+            raise ConfigurationError(
+                "the 'photonic' backend was replaced with one that does not "
+                "produce a PhotonicRailNetworkModel; use run_backend() instead"
+            )
         return trace, network
 
     def run_baseline(
@@ -107,13 +130,12 @@ class PhotonicRailSystem:
         use_tree_collectives: bool = False,
     ) -> TrainingTrace:
         """Simulate the workload on electrical (fully connected) rails."""
-        network = ElectricalRailNetworkModel(
-            self.cluster, self.mesh, use_tree_collectives=use_tree_collectives
+        trace, _network = self.run_backend(
+            "electrical",
+            num_iterations=num_iterations,
+            use_tree_collectives=use_tree_collectives,
         )
-        executor = DAGExecutor(
-            self.dag, self.cluster, network, config=self.config.simulation
-        )
-        return executor.run_training(num_iterations or self.config.num_iterations)
+        return trace
 
 
 @dataclass(frozen=True)
@@ -134,6 +156,8 @@ def reconfiguration_latency_sweep(
     delays: Sequence[float],
     num_iterations: int = 3,
     config: Optional[SystemConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+    max_workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Run the Fig. 8 experiment: iteration time vs reconfiguration latency.
 
@@ -141,33 +165,65 @@ def reconfiguration_latency_sweep(
     without provisioning); iteration times are normalized to the electrical
     fully-connected baseline (the paper's "reconfiguration latency 0" case).
     The profiling iteration is excluded from the averages.
-    """
-    system_config = config or SystemConfig(num_iterations=num_iterations)
-    system_config.num_iterations = num_iterations
-    system = PhotonicRailSystem(workload, cluster, system_config)
-    baseline = system.run_baseline()
-    baseline_time = mean_iteration_time(baseline, skip_first=True)
 
+    The grid is fanned out over the :class:`ExperimentRunner`'s parallel
+    workers, and repeated (delay, provisioning) points hit its memoization
+    cache instead of being re-simulated.
+    """
+    delays = list(delays)
+    system_config = config or SystemConfig(num_iterations=num_iterations)
+    runner = runner or ExperimentRunner(max_workers=max_workers)
+
+    base = Scenario(
+        workload=workload,
+        cluster=cluster,
+        backend="photonic",
+        num_iterations=num_iterations,
+        simulation=system_config.simulation,
+        dag_options=system_config.dag_options,
+        name="fig8",
+    )
+    baseline = runner.run(
+        Scenario(
+            workload=workload,
+            cluster=cluster,
+            backend="electrical",
+            num_iterations=num_iterations,
+            simulation=system_config.simulation,
+            dag_options=system_config.dag_options,
+            name="fig8-baseline",
+        )
+    )
+    baseline_time = baseline.metrics["steady_iteration_time"]
+    if baseline_time <= 0:
+        raise ConfigurationError("baseline iteration time must be positive")
+
+    results = runner.sweep(
+        base,
+        {
+            "reconfiguration_delay": delays,
+            "provisioning": [False, True],
+        },
+    )
     points: List[SweepPoint] = []
-    for delay in delays:
-        for provisioning in (False, True):
-            trace, _network = system.run(
-                reconfiguration_delay=delay, provisioning=provisioning
-            )
-            steady = [t for t in trace.iterations][1:] or list(trace.iterations)
-            mean_time = sum(t.iteration_time for t in steady) / len(steady)
-            reconfigs = sum(t.num_reconfigurations() for t in steady) / len(steady)
-            exposed = sum(
-                t.total_reconfiguration_blocking() for t in steady
-            ) / len(steady)
-            points.append(
-                SweepPoint(
-                    reconfiguration_delay=delay,
-                    provisioning=provisioning,
-                    iteration_time=mean_time,
-                    normalized_iteration_time=mean_time / baseline_time,
-                    reconfigurations_per_iteration=reconfigs,
-                    exposed_reconfig_time=exposed,
-                )
-            )
+    for (delay, provisioning), result in zip(
+        ((d, p) for d in delays for p in (False, True)), results
+    ):
+        points.append(_sweep_point(delay, provisioning, result, baseline_time))
     return points
+
+
+def _sweep_point(
+    delay: float, provisioning: bool, result: ScenarioResult, baseline_time: float
+) -> SweepPoint:
+    return SweepPoint(
+        reconfiguration_delay=delay,
+        provisioning=provisioning,
+        iteration_time=result.metrics["steady_iteration_time"],
+        normalized_iteration_time=result.metrics["steady_iteration_time"]
+        / baseline_time,
+        reconfigurations_per_iteration=result.metrics[
+            "reconfigurations_per_iteration"
+        ],
+        exposed_reconfig_time=result.metrics["exposed_reconfig_time"],
+    )

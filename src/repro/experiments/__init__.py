@@ -1,0 +1,46 @@
+"""Fabric-agnostic experiment layer: backends, scenarios, runner, CLI.
+
+This package turns the end-to-end simulator into an experiment platform:
+
+* :mod:`repro.experiments.backends` — the :class:`FabricBackend` registry
+  adapting every topology (photonic, electrical, ideal, fat-tree,
+  rail-optimized, bare OCS) to the
+  :class:`~repro.simulator.network.NetworkModel` interface.
+* :mod:`repro.experiments.runner` — declarative :class:`Scenario` specs, the
+  memoized parallel :class:`ExperimentRunner`, and grid expansion.
+* :mod:`repro.experiments.cli` — the ``repro-sim`` console script.
+"""
+
+from .backends import (
+    FabricBackend,
+    all_backends,
+    available_backends,
+    backend,
+    create_network,
+    get_backend,
+    register_backend,
+)
+from .runner import (
+    ExperimentRunner,
+    Scenario,
+    ScenarioResult,
+    expand_grid,
+    run_scenario,
+    scenario_hash,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "FabricBackend",
+    "Scenario",
+    "ScenarioResult",
+    "all_backends",
+    "available_backends",
+    "backend",
+    "create_network",
+    "expand_grid",
+    "get_backend",
+    "register_backend",
+    "run_scenario",
+    "scenario_hash",
+]

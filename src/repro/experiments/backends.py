@@ -1,0 +1,236 @@
+"""Registry of fabric backends: every network technology behind one interface.
+
+A *backend* adapts one scale-out fabric into the
+:class:`~repro.simulator.network.NetworkModel` interface the DAG executor
+consumes, so the same workload can be simulated end-to-end on any fabric by
+name.  The registry ships with six backends:
+
+========== ==================================================================
+``photonic``   photonic rails driven by the Opus control plane (the paper's
+               proposal; knobs: ``reconfiguration_delay``, ``provisioning``,
+               ``technology``)
+``electrical`` fully-connected electrical rails, the Fig. 8 baseline
+               (knob: ``use_tree_collectives``)
+``ideal``      zero-cost network — the communication-free lower bound
+``fattree``    transfers routed through the k-ary fat-tree graph
+``railopt``    transfers routed through the leaf/spine rail-optimized graph
+               (knob: ``always_spine``)
+``ocs``        bare OCS rails without Opus: every circuit-schedule change
+               blocks for the switching delay (knobs:
+               ``reconfiguration_delay``, ``technology``)
+========== ==================================================================
+
+Third parties register additional fabrics with the :func:`backend` decorator
+(or :func:`register_backend`); the experiment runner and the ``repro-sim`` CLI
+pick them up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..parallelism.groups import GroupRegistry
+from ..parallelism.mesh import DeviceMesh
+from ..simulator.fabric_network import (
+    FatTreeNetworkModel,
+    OCSReconfigurableNetworkModel,
+    RailOptimizedNetworkModel,
+)
+from ..simulator.network import (
+    ElectricalRailNetworkModel,
+    IdealNetworkModel,
+    NetworkModel,
+)
+from ..topology.devices import ClusterSpec, OCSTechnology
+
+#: A backend factory builds a network model for one (cluster, mesh) pair.
+BackendFactory = Callable[..., NetworkModel]
+
+
+@dataclass(frozen=True)
+class FabricBackend:
+    """One registered fabric: a named, knob-validated network-model factory."""
+
+    name: str
+    description: str
+    factory: BackendFactory = field(repr=False)
+    #: Names of the keyword knobs the factory accepts (beyond cluster/mesh).
+    knobs: Tuple[str, ...] = ()
+
+    def create(
+        self,
+        cluster: ClusterSpec,
+        mesh: DeviceMesh,
+        registry: Optional[GroupRegistry] = None,
+        **knobs: object,
+    ) -> NetworkModel:
+        """Instantiate the network model, rejecting knobs the backend lacks."""
+        unknown = sorted(set(knobs) - set(self.knobs))
+        if unknown:
+            raise ConfigurationError(
+                f"backend {self.name!r} does not accept knobs {unknown}; "
+                f"accepted: {sorted(self.knobs)}"
+            )
+        return self.factory(cluster, mesh, registry=registry, **knobs)
+
+
+_REGISTRY: Dict[str, FabricBackend] = {}
+
+
+def register_backend(spec: FabricBackend, replace: bool = False) -> FabricBackend:
+    """Add a backend to the registry; re-registering a name raises unless ``replace``."""
+    if spec.name in _REGISTRY and not replace:
+        raise ConfigurationError(f"backend {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def backend(
+    name: str, description: str, knobs: Tuple[str, ...] = ()
+) -> Callable[[BackendFactory], BackendFactory]:
+    """Decorator form of :func:`register_backend` for factory functions."""
+
+    def wrap(factory: BackendFactory) -> BackendFactory:
+        register_backend(
+            FabricBackend(
+                name=name, description=description, factory=factory, knobs=tuple(knobs)
+            )
+        )
+        return factory
+
+    return wrap
+
+
+def get_backend(name: str) -> FabricBackend:
+    """Return the backend registered under ``name``."""
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; registered: {available_backends()}"
+        )
+    return _REGISTRY[name]
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def all_backends() -> List[FabricBackend]:
+    """Every registered backend, sorted by name."""
+    return [_REGISTRY[name] for name in available_backends()]
+
+
+def create_network(
+    name: str,
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    registry: Optional[GroupRegistry] = None,
+    **knobs: object,
+) -> NetworkModel:
+    """Build the network model of backend ``name`` for one simulation."""
+    return get_backend(name).create(cluster, mesh, registry=registry, **knobs)
+
+
+# --------------------------------------------------------------------------- #
+# Built-in backends
+# --------------------------------------------------------------------------- #
+
+
+@backend(
+    "photonic",
+    "Photonic rails driven by the Opus control plane (the paper's proposal)",
+    knobs=("reconfiguration_delay", "provisioning", "technology"),
+)
+def _photonic_backend(
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    registry: Optional[GroupRegistry] = None,
+    reconfiguration_delay: Optional[float] = None,
+    provisioning: bool = True,
+    technology: Optional[OCSTechnology] = None,
+) -> NetworkModel:
+    # Imported lazily: repro.core imports this module back through
+    # repro.core.system, so a module-level import would be circular.
+    from ..core.network import PhotonicRailNetworkModel
+    from ..core.shim import ShimOptions
+    from ..topology.photonic import build_photonic_rail_fabric
+
+    fabric = build_photonic_rail_fabric(cluster, technology=technology)
+    return PhotonicRailNetworkModel(
+        cluster=cluster,
+        mesh=mesh,
+        fabric=fabric,
+        reconfiguration_delay=reconfiguration_delay,
+        shim_options=ShimOptions(provisioning=bool(provisioning)),
+        registry=registry,
+    )
+
+
+@backend(
+    "electrical",
+    "Fully-connected electrical rails (the Fig. 8 baseline)",
+    knobs=("use_tree_collectives",),
+)
+def _electrical_backend(
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    registry: Optional[GroupRegistry] = None,
+    use_tree_collectives: bool = False,
+) -> NetworkModel:
+    return ElectricalRailNetworkModel(
+        cluster, mesh, use_tree_collectives=bool(use_tree_collectives)
+    )
+
+
+@backend("ideal", "Zero-cost network: the communication-free lower bound")
+def _ideal_backend(
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    registry: Optional[GroupRegistry] = None,
+) -> NetworkModel:
+    return IdealNetworkModel(cluster, mesh)
+
+
+@backend("fattree", "Packet transfers routed through the k-ary fat-tree graph")
+def _fattree_backend(
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    registry: Optional[GroupRegistry] = None,
+) -> NetworkModel:
+    return FatTreeNetworkModel(cluster, mesh)
+
+
+@backend(
+    "railopt",
+    "Packet transfers routed through the leaf/spine rail-optimized graph",
+    knobs=("always_spine",),
+)
+def _railopt_backend(
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    registry: Optional[GroupRegistry] = None,
+    always_spine: bool = True,
+) -> NetworkModel:
+    return RailOptimizedNetworkModel(cluster, mesh, always_spine=bool(always_spine))
+
+
+@backend(
+    "ocs",
+    "Bare OCS rails without Opus: schedule changes block for the switch time",
+    knobs=("reconfiguration_delay", "technology"),
+)
+def _ocs_backend(
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    registry: Optional[GroupRegistry] = None,
+    reconfiguration_delay: Optional[float] = None,
+    technology: Optional[OCSTechnology] = None,
+) -> NetworkModel:
+    return OCSReconfigurableNetworkModel(
+        cluster,
+        mesh,
+        reconfiguration_delay=reconfiguration_delay,
+        technology=technology,
+    )

@@ -1,0 +1,401 @@
+"""``repro-sim``: run workloads on any registered fabric backend.
+
+Subcommands
+-----------
+
+* ``repro-sim backends`` — list the registered fabric backends and their knobs.
+* ``repro-sim run`` — simulate one scenario and emit its metrics::
+
+      repro-sim run --backend photonic --workload tiny --cluster perlmutter:2 \\
+          --knob reconfiguration_delay=0.015 --iterations 3 --format json
+
+* ``repro-sim sweep`` — fan a parameter grid out over parallel workers::
+
+      repro-sim sweep --backend photonic --workload tiny --cluster perlmutter:2 \\
+          --grid reconfiguration_delay=1e-5,0.007,0.015 \\
+          --grid provisioning=false,true --workers 4 --format csv
+
+* ``repro-sim fig8`` — the paper's Fig. 8 reconfiguration-latency sweep
+  (normalized against the electrical baseline) through the experiment runner.
+
+Workload presets: ``tiny``, ``paper-trace``, ``moe``, ``llama3-405b``
+(tune with repeatable ``--workload-arg pp=2`` overrides).  Clusters are
+``perlmutter:<nodes>`` or ``dgx-h200:<gpus>[:<nic_ports>]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError, ReproError
+from ..parallelism.config import WorkloadConfig
+from ..parallelism.workloads import (
+    llama3_405b_workload,
+    moe_workload,
+    paper_trace_workload,
+    small_test_workload,
+)
+from ..simulator.executor import SimulationConfig
+from ..topology.devices import ClusterSpec, OCS_CATALOG, dgx_h200_cluster, perlmutter_testbed
+from .backends import all_backends, get_backend
+from .runner import ExperimentRunner, Scenario, ScenarioResult
+
+WORKLOAD_PRESETS: Dict[str, Callable[..., WorkloadConfig]] = {
+    "tiny": small_test_workload,
+    "paper-trace": paper_trace_workload,
+    "moe": moe_workload,
+    "llama3-405b": llama3_405b_workload,
+}
+
+
+def parse_value(text: str) -> object:
+    """Parse a CLI value: bool / None / int / float, falling back to str."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    if lowered in ("none", "null", "default"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_cluster(spec: str) -> ClusterSpec:
+    """Parse ``perlmutter:<nodes>`` or ``dgx-h200:<gpus>[:<nic_ports>]``."""
+    parts = spec.split(":")
+    family = parts[0].lower()
+    try:
+        numbers = [int(part) for part in parts[1:]]
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid cluster spec {spec!r}") from exc
+    if family == "perlmutter":
+        return perlmutter_testbed(num_nodes=numbers[0] if numbers else 4)
+    if family == "dgx-h200":
+        if not numbers:
+            raise ConfigurationError("dgx-h200 needs a GPU count, e.g. dgx-h200:16")
+        nic_ports = numbers[1] if len(numbers) > 1 else 1
+        return dgx_h200_cluster(numbers[0], nic_ports_per_gpu=nic_ports)
+    raise ConfigurationError(
+        f"unknown cluster family {family!r}; use perlmutter:<nodes> or "
+        f"dgx-h200:<gpus>[:<nic_ports>]"
+    )
+
+
+def parse_workload(name: str, overrides: Sequence[str]) -> WorkloadConfig:
+    """Build a preset workload with optional ``key=value`` factory overrides."""
+    if name not in WORKLOAD_PRESETS:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; presets: {sorted(WORKLOAD_PRESETS)}"
+        )
+    kwargs: Dict[str, object] = {}
+    for override in overrides:
+        key, _, value = override.partition("=")
+        if not _:
+            raise ConfigurationError(
+                f"workload override {override!r} must look like key=value"
+            )
+        kwargs[key.strip()] = parse_value(value)
+    try:
+        return WORKLOAD_PRESETS[name](**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"workload {name!r} rejected overrides {sorted(kwargs)}: {exc}"
+        ) from exc
+
+
+def _parse_knob_value(key: str, text: str) -> object:
+    """Parse one knob value, resolving OCS technology names to catalog entries."""
+    parsed = parse_value(text)
+    if key == "technology" and isinstance(parsed, str):
+        if parsed not in OCS_CATALOG:
+            raise ConfigurationError(
+                f"unknown OCS technology {parsed!r}; known: {sorted(OCS_CATALOG)}"
+            )
+        parsed = OCS_CATALOG[parsed]
+    if key == "reconfiguration_delay" and not isinstance(
+        parsed, (int, float, type(None))
+    ):
+        raise ConfigurationError(
+            f"knob reconfiguration_delay must be a number in seconds, got {text!r}"
+        )
+    return parsed
+
+
+def parse_knobs(pairs: Sequence[str]) -> Dict[str, object]:
+    """Parse repeated ``--knob key=value`` flags into a knob mapping."""
+    knobs: Dict[str, object] = {}
+    for pair in pairs:
+        key, _, value = pair.partition("=")
+        if not _:
+            raise ConfigurationError(f"knob {pair!r} must look like key=value")
+        key = key.strip()
+        knobs[key] = _parse_knob_value(key, value)
+    return knobs
+
+
+def parse_grid(pairs: Sequence[str]) -> Dict[str, List[object]]:
+    """Parse repeated ``--grid key=v1,v2,...`` flags into a parameter grid."""
+    grid: Dict[str, List[object]] = {}
+    for pair in pairs:
+        key, _, values = pair.partition("=")
+        if not _ or not values:
+            raise ConfigurationError(f"grid {pair!r} must look like key=v1,v2,...")
+        key = key.strip()
+        grid[key] = [_parse_knob_value(key, value) for value in values.split(",")]
+    return grid
+
+
+def _emit(
+    rows: List[Dict[str, object]],
+    fmt: str,
+    output: Optional[str],
+    single: bool = False,
+) -> None:
+    """Write rows as JSON or CSV to ``output`` (or stdout).
+
+    ``single`` emits a bare JSON object (the ``run`` subcommand); list-shaped
+    subcommands always emit a JSON array, even for one-point grids.
+    """
+    if fmt == "json":
+        text = json.dumps(rows[0] if single else rows, indent=2)
+    else:
+        fieldnames: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in fieldnames:
+                    fieldnames.append(key)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+        text = buffer.getvalue().rstrip("\n")
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+
+
+def _result_rows(results: Sequence[ScenarioResult], fmt: str) -> List[Dict[str, object]]:
+    if fmt == "csv":
+        return [result.to_row() for result in results]
+    return [result.to_dict() for result in results]
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default="electrical", help="fabric backend name (see `backends`)"
+    )
+    parser.add_argument(
+        "--workload", default="tiny", help=f"preset: {sorted(WORKLOAD_PRESETS)}"
+    )
+    parser.add_argument(
+        "--workload-arg",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a workload factory argument (repeatable), e.g. pp=2",
+    )
+    parser.add_argument(
+        "--cluster",
+        default="perlmutter:2",
+        help="cluster spec: perlmutter:<nodes> or dgx-h200:<gpus>[:<nic_ports>]",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=3, help="training iterations to simulate"
+    )
+    parser.add_argument(
+        "--mfu", type=float, default=0.40, help="model FLOPs utilization"
+    )
+    parser.add_argument(
+        "--knob",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="backend knob (repeatable), e.g. reconfiguration_delay=0.015",
+    )
+    parser.add_argument("--format", choices=("json", "csv"), default="json")
+    parser.add_argument("--output", default=None, help="write to file instead of stdout")
+
+
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    get_backend(args.backend)  # fail fast on unknown backends
+    workload = parse_workload(args.workload, args.workload_arg)
+    cluster = parse_cluster(args.cluster)
+    return Scenario(
+        workload=workload,
+        cluster=cluster,
+        backend=args.backend,
+        knobs=parse_knobs(args.knob),
+        num_iterations=args.iterations,
+        simulation=SimulationConfig(mfu=args.mfu),
+        name=f"{args.workload}@{args.backend}",
+    )
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "description": spec.description,
+            "knobs": list(spec.knobs),
+        }
+        for spec in all_backends()
+    ]
+    if args.format == "json":
+        print(json.dumps(rows, indent=2))
+    else:
+        for row in rows:
+            knobs = ", ".join(row["knobs"]) or "-"
+            print(f"{row['name']:<12} {row['description']}  [knobs: {knobs}]")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    runner = ExperimentRunner(max_workers=1, executor="serial")
+    result = runner.run(scenario)
+    _emit(_result_rows([result], args.format), args.format, args.output, single=True)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    grid = parse_grid(args.grid)
+    if not grid:
+        raise ConfigurationError("a sweep needs at least one --grid key=v1,v2,...")
+    runner = ExperimentRunner(max_workers=args.workers, executor=args.executor)
+    results = runner.sweep(scenario, grid)
+    _emit(_result_rows(results, args.format), args.format, args.output)
+    print(
+        f"sweep: {len(results)} points, {runner.cache_misses} simulated, "
+        f"{runner.cache_hits} cache hits, {runner.max_workers} workers",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from ..core.system import reconfiguration_latency_sweep
+
+    workload = parse_workload(args.workload, args.workload_arg)
+    cluster = parse_cluster(args.cluster)
+    try:
+        delays = [float(value) for value in args.delays.split(",")]
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"--delays must be comma-separated seconds, got {args.delays!r}"
+        ) from exc
+    points = reconfiguration_latency_sweep(
+        workload,
+        cluster,
+        delays,
+        num_iterations=args.iterations,
+        max_workers=args.workers,
+    )
+    rows = [
+        {
+            "reconfiguration_delay": point.reconfiguration_delay,
+            "provisioning": point.provisioning,
+            "iteration_time": point.iteration_time,
+            "normalized_iteration_time": point.normalized_iteration_time,
+            "reconfigurations_per_iteration": point.reconfigurations_per_iteration,
+            "exposed_reconfig_time": point.exposed_reconfig_time,
+        }
+        for point in points
+    ]
+    _emit(rows, args.format, args.output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Simulate ML training workloads on photonic, electrical, "
+        "fat-tree, rail-optimized, OCS, or ideal fabrics.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    backends_parser = subparsers.add_parser(
+        "backends", help="list registered fabric backends"
+    )
+    backends_parser.add_argument("--format", choices=("json", "text"), default="text")
+    backends_parser.set_defaults(func=_cmd_backends)
+
+    run_parser = subparsers.add_parser("run", help="simulate one scenario")
+    _add_scenario_arguments(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="simulate a parameter grid in parallel"
+    )
+    _add_scenario_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2",
+        help="sweep dimension (repeatable); scenario fields or backend knobs",
+    )
+    sweep_parser.add_argument("--workers", type=int, default=None)
+    sweep_parser.add_argument(
+        "--executor", choices=("thread", "process", "serial"), default="process"
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    fig8_parser = subparsers.add_parser(
+        "fig8", help="the paper's Fig. 8 reconfiguration-latency sweep"
+    )
+    fig8_parser.add_argument(
+        "--workload", default="tiny", help=f"preset: {sorted(WORKLOAD_PRESETS)}"
+    )
+    fig8_parser.add_argument(
+        "--workload-arg", action="append", default=[], metavar="KEY=VALUE"
+    )
+    fig8_parser.add_argument("--cluster", default="perlmutter:2")
+    fig8_parser.add_argument(
+        "--delays",
+        default="1e-8,7e-6,1e-5,0.015,0.025,0.1",
+        help="comma-separated OCS switching delays in seconds (Table 3)",
+    )
+    fig8_parser.add_argument("--iterations", type=int, default=3)
+    fig8_parser.add_argument("--workers", type=int, default=None)
+    fig8_parser.add_argument("--format", choices=("json", "csv"), default="json")
+    fig8_parser.add_argument("--output", default=None)
+    fig8_parser.set_defaults(func=_cmd_fig8)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console-script entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro-sim: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,357 @@
+"""Declarative scenarios and the parallel, memoized experiment runner.
+
+A :class:`Scenario` names everything one end-to-end simulation needs —
+workload × cluster × backend × knobs × iteration count — as plain (picklable)
+data.  :func:`run_scenario` executes one scenario: it builds the iteration
+DAG, instantiates the backend's network model, drives the DAG executor, and
+condenses the trace into a small :class:`ScenarioResult`.
+
+:class:`ExperimentRunner` adds the two things sweeps need:
+
+* **memoization** — results are cached under a SHA-256 hash of the scenario's
+  canonical configuration, so repeated points (across sweeps or within one
+  grid) are simulated once;
+* **parallelism** — :meth:`ExperimentRunner.sweep` expands a parameter grid
+  into scenarios and fans cache misses out over ``concurrent.futures``
+  workers (processes by default — the pure-Python simulation is CPU-bound,
+  so threads would serialize on the GIL; threads or serial on request).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..parallelism.config import WorkloadConfig
+from ..parallelism.dag import DagBuildOptions, build_iteration_dag
+from ..parallelism.groups import GroupRegistry
+from ..parallelism.trace import TrainingTrace
+from ..simulator.executor import DAGExecutor, SimulationConfig
+from ..simulator.metrics import iteration_metrics
+from ..topology.devices import ClusterSpec
+from .backends import create_network
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One end-to-end simulation: workload × cluster × backend × knobs."""
+
+    workload: WorkloadConfig
+    cluster: ClusterSpec
+    backend: str = "electrical"
+    #: Backend-specific keyword knobs (validated by the backend at run time).
+    knobs: Mapping[str, object] = field(default_factory=dict)
+    num_iterations: int = 2
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    dag_options: DagBuildOptions = field(default_factory=DagBuildOptions)
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        if self.num_iterations <= 0:
+            raise ConfigurationError("num_iterations must be positive")
+        if self.workload.world_size > self.cluster.num_gpus:
+            raise ConfigurationError(
+                f"workload needs {self.workload.world_size} GPUs, cluster has "
+                f"{self.cluster.num_gpus}"
+            )
+
+    def with_knobs(self, **knobs: object) -> "Scenario":
+        """Return a copy with ``knobs`` merged over the existing ones."""
+        merged = dict(self.knobs)
+        merged.update(knobs)
+        return replace(self, knobs=merged)
+
+
+def scenario_hash(scenario: Scenario) -> str:
+    """Stable configuration hash of a scenario (memoization cache key).
+
+    The hash covers everything that influences the simulation result —
+    workload, cluster, backend, knobs, iteration count, simulator and DAG
+    options — and deliberately ignores ``name``, which is presentation only.
+    """
+    payload = {
+        "workload": asdict(scenario.workload),
+        "cluster": asdict(scenario.cluster),
+        "backend": scenario.backend,
+        "knobs": {key: repr(value) for key, value in scenario.knobs.items()},
+        "num_iterations": scenario.num_iterations,
+        "simulation": asdict(scenario.simulation),
+        "dag_options": asdict(scenario.dag_options),
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Condensed, picklable outcome of one scenario run."""
+
+    name: str
+    backend: str
+    config_hash: str
+    num_iterations: int
+    #: The scenario's backend knobs (non-primitive values stringified).
+    knobs: Mapping[str, object]
+    #: Makespan of every simulated iteration, in order.
+    iteration_times: Tuple[float, ...]
+    #: Reconfiguration count of every iteration.
+    reconfigurations: Tuple[int, ...]
+    #: Blocking (critical-path) reconfiguration time of every iteration.
+    reconfig_blocking: Tuple[float, ...]
+    #: Scalar summary metrics (see :func:`run_scenario` for the keys).
+    metrics: Mapping[str, float]
+    #: ``pid:thread`` of the worker that simulated this scenario.
+    worker: str
+    #: Wall-clock seconds the simulation took.
+    wall_time: float
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "name": self.name,
+            "backend": self.backend,
+            "config_hash": self.config_hash,
+            "num_iterations": self.num_iterations,
+            "knobs": dict(self.knobs),
+            "iteration_times": list(self.iteration_times),
+            "reconfigurations": list(self.reconfigurations),
+            "reconfig_blocking": list(self.reconfig_blocking),
+            "metrics": dict(self.metrics),
+            "worker": self.worker,
+            "wall_time": self.wall_time,
+        }
+
+    def to_row(self) -> Dict[str, object]:
+        """Flat single-level mapping for CSV output."""
+        row: Dict[str, object] = {
+            "name": self.name,
+            "backend": self.backend,
+            "config_hash": self.config_hash,
+            "num_iterations": self.num_iterations,
+            "wall_time": self.wall_time,
+        }
+        row.update(self.knobs)
+        row.update(self.metrics)
+        return row
+
+
+def _steady(values: Sequence[float]) -> Sequence[float]:
+    """Steady-state iterations: drop the profiling iteration when possible."""
+    return values[1:] if len(values) > 1 else values
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Simulate one scenario end to end and summarize its trace."""
+    started = time.perf_counter()
+    dag = build_iteration_dag(scenario.workload, scenario.cluster, scenario.dag_options)
+    registry = GroupRegistry(dag.mesh)
+    network = create_network(
+        scenario.backend,
+        scenario.cluster,
+        dag.mesh,
+        registry=registry,
+        **dict(scenario.knobs),
+    )
+    executor = DAGExecutor(
+        dag, scenario.cluster, network, config=scenario.simulation
+    )
+    trace: TrainingTrace = executor.run_training(scenario.num_iterations)
+
+    per_iteration = [iteration_metrics(t) for t in trace.iterations]
+    iteration_times = tuple(m.iteration_time for m in per_iteration)
+    reconfigurations = tuple(m.num_reconfigurations for m in per_iteration)
+    blocking = tuple(m.exposed_reconfig_time for m in per_iteration)
+    steady_metrics = _steady(per_iteration)
+
+    def _mean(values: Sequence[float]) -> float:
+        return sum(values) / len(values)
+
+    metrics: Dict[str, float] = {
+        "mean_iteration_time": _mean(iteration_times),
+        "steady_iteration_time": _mean([m.iteration_time for m in steady_metrics]),
+        "reconfigurations_per_iteration": _mean(
+            [m.num_reconfigurations for m in steady_metrics]
+        ),
+        "exposed_reconfig_time": _mean(
+            [m.exposed_reconfig_time for m in steady_metrics]
+        ),
+        "compute_time": _mean([m.compute_time for m in steady_metrics]),
+        "scaleout_comm_time": _mean([m.scaleout_comm_time for m in steady_metrics]),
+        "scaleup_comm_time": _mean([m.scaleup_comm_time for m in steady_metrics]),
+        "scaleout_bytes": _mean([m.scaleout_bytes for m in steady_metrics]),
+        "total_time": trace.iterations[-1].end,
+    }
+    return ScenarioResult(
+        name=scenario.name,
+        backend=scenario.backend,
+        config_hash=scenario_hash(scenario),
+        num_iterations=scenario.num_iterations,
+        knobs={
+            key: value
+            if isinstance(value, (int, float, bool, str, type(None)))
+            else repr(value)
+            for key, value in scenario.knobs.items()
+        },
+        iteration_times=iteration_times,
+        reconfigurations=reconfigurations,
+        reconfig_blocking=blocking,
+        metrics=metrics,
+        worker=f"{os.getpid()}:{threading.current_thread().name}",
+        wall_time=time.perf_counter() - started,
+    )
+
+
+def _execute_scenario(scenario: Scenario) -> ScenarioResult:
+    # Thin top-level shim so process pools can pickle the callable and tests
+    # can monkeypatch ``run_scenario``.
+    return run_scenario(scenario)
+
+
+_SCENARIO_FIELDS = frozenset(
+    f.name for f in fields(Scenario) if f.name not in ("knobs", "workload", "cluster")
+)
+
+
+def expand_grid(
+    base: Scenario, grid: Mapping[str, Sequence[object]]
+) -> List[Scenario]:
+    """Expand a parameter grid into scenarios (first key varies slowest).
+
+    Grid keys naming a :class:`Scenario` field (``backend``,
+    ``num_iterations``, ...) override that field; every other key becomes a
+    backend knob merged over ``base.knobs``.
+    """
+    if not grid:
+        return [base]
+    keys = list(grid)
+    scenarios: List[Scenario] = []
+    for values in itertools.product(*(grid[key] for key in keys)):
+        point = dict(zip(keys, values))
+        field_overrides = {
+            key: value for key, value in point.items() if key in _SCENARIO_FIELDS
+        }
+        knob_overrides = {
+            key: value for key, value in point.items() if key not in _SCENARIO_FIELDS
+        }
+        label = ",".join(f"{key}={value}" for key, value in point.items())
+        scenario = replace(base, **field_overrides) if field_overrides else base
+        if knob_overrides:
+            scenario = scenario.with_knobs(**knob_overrides)
+        scenarios.append(replace(scenario, name=f"{base.name}[{label}]"))
+    return scenarios
+
+
+class ExperimentRunner:
+    """Runs scenarios with memoization and ``concurrent.futures`` fan-out.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker count for parallel sweeps (default: CPU count).
+    executor:
+        ``"process"`` (default — the simulation is CPU-bound pure Python, so
+        only processes escape the GIL), ``"thread"``, or ``"serial"``.  The
+        simulation is deterministic, so all three produce identical results.
+    memoize:
+        Cache results by configuration hash (default True).
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        executor: str = "process",
+        memoize: bool = True,
+    ) -> None:
+        if executor not in ("thread", "process", "serial"):
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; use 'thread', 'process', or 'serial'"
+            )
+        if max_workers is not None and max_workers <= 0:
+            raise ConfigurationError("max_workers must be positive")
+        self.max_workers = max_workers or os.cpu_count() or 2
+        self.executor = executor
+        self.memoize = memoize
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._cache: Dict[str, ScenarioResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def run(self, scenario: Scenario) -> ScenarioResult:
+        """Run (or recall) a single scenario."""
+        return self.run_many([scenario])[0]
+
+    def run_many(self, scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
+        """Run a batch of scenarios, preserving input order.
+
+        Cache hits (including duplicate configurations *within* the batch)
+        are served without simulating; the remaining unique configurations
+        are fanned out over the configured workers.
+        """
+        keys = [scenario_hash(scenario) for scenario in scenarios]
+        results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
+        pending: Dict[str, Scenario] = {}
+        for index, (key, scenario) in enumerate(zip(keys, scenarios)):
+            if self.memoize and key in self._cache:
+                self.cache_hits += 1
+                results[index] = self._cache[key]
+            elif key in pending:
+                self.cache_hits += 1  # duplicate point inside this batch
+            else:
+                pending[key] = scenario
+
+        if pending:
+            self.cache_misses += len(pending)
+            fresh = self._execute(list(pending.values()))
+            for key, result in zip(pending, fresh):
+                if self.memoize:
+                    self._cache[key] = result
+                pending[key] = result  # type: ignore[assignment]
+            for index, key in enumerate(keys):
+                if results[index] is None:
+                    results[index] = pending[key]  # type: ignore[assignment]
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def sweep(
+        self, base: Scenario, grid: Mapping[str, Sequence[object]]
+    ) -> List[ScenarioResult]:
+        """Expand ``grid`` over ``base`` and run every point (see :func:`expand_grid`)."""
+        return self.run_many(expand_grid(base, grid))
+
+    def clear_cache(self) -> None:
+        """Drop all memoized results and reset the hit/miss counters."""
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized results."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, scenarios: List[Scenario]) -> List[ScenarioResult]:
+        if self.executor == "serial" or len(scenarios) == 1:
+            return [_execute_scenario(scenario) for scenario in scenarios]
+        workers = min(self.max_workers, len(scenarios))
+        pool: Executor
+        if self.executor == "process":
+            pool = ProcessPoolExecutor(max_workers=workers)
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers)
+        with pool:
+            return list(pool.map(_execute_scenario, scenarios))

@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..collectives.primitives import CollectiveType
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SimulationError
 from .pipeline import PipelinePhase
 
 
@@ -275,9 +275,16 @@ class TrainingTrace:
         return len(self.iterations)
 
     def mean_iteration_time(self) -> float:
-        """Mean iteration makespan across all recorded iterations."""
+        """Mean iteration makespan across all recorded iterations.
+
+        Raises :class:`~repro.errors.SimulationError` when no iterations have
+        been recorded, so callers never divide by zero silently.
+        """
         if not self.iterations:
-            return 0.0
+            raise SimulationError(
+                "cannot compute the mean iteration time of an empty training "
+                "trace (no iterations recorded)"
+            )
         return sum(t.iteration_time for t in self.iterations) / len(self.iterations)
 
     def __iter__(self):

@@ -3,6 +3,8 @@
 * :mod:`repro.simulator.compute` — compute-duration model.
 * :mod:`repro.simulator.network` — network timing models (electrical baseline,
   ideal network; the photonic model lives in :mod:`repro.core.network`).
+* :mod:`repro.simulator.fabric_network` — topology-backed models (fat-tree,
+  rail-optimized, bare OCS) with path resolution and oversubscription.
 * :mod:`repro.simulator.executor` — list-scheduling DAG executor.
 * :mod:`repro.simulator.engine` / :mod:`repro.simulator.flows` — fluid
   max–min fair flow simulation used for point-to-point studies.
@@ -13,6 +15,12 @@
 from .compute import ComputeTimeModel
 from .engine import Event, SimulationEngine
 from .executor import DAGExecutor, SimulationConfig
+from .fabric_network import (
+    FatTreeNetworkModel,
+    OCSReconfigurableNetworkModel,
+    RailOptimizedNetworkModel,
+    TopologyNetworkModel,
+)
 from .flows import Flow, FlowSimulator, max_min_fair_rates
 from .metrics import (
     IterationMetrics,
@@ -35,13 +43,17 @@ __all__ = [
     "DAGExecutor",
     "ElectricalRailNetworkModel",
     "Event",
+    "FatTreeNetworkModel",
     "Flow",
     "FlowSimulator",
     "IdealNetworkModel",
     "IterationMetrics",
     "NetworkModel",
+    "OCSReconfigurableNetworkModel",
+    "RailOptimizedNetworkModel",
     "SimulationConfig",
     "SimulationEngine",
+    "TopologyNetworkModel",
     "iteration_metrics",
     "max_min_fair_rates",
     "mean_iteration_time",

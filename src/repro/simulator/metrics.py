@@ -82,7 +82,10 @@ def mean_iteration_time(training: TrainingTrace, skip_first: bool = False) -> fl
     if skip_first and len(iterations) > 1:
         iterations = iterations[1:]
     if not iterations:
-        raise SimulationError("no iterations to summarize")
+        raise SimulationError(
+            "cannot compute the mean iteration time of an empty training "
+            "trace (no iterations recorded)"
+        )
     return sum(t.iteration_time for t in iterations) / len(iterations)
 
 

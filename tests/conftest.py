@@ -1,0 +1,25 @@
+"""Shared fixtures: a tiny workload/cluster pair every suite can afford."""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import pytest
+
+from repro.parallelism.workloads import small_test_workload
+from repro.topology.devices import perlmutter_testbed
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """An 8-rank Tiny-1B workload (TP=2, FSDP=2, PP=2)."""
+    return small_test_workload()
+
+
+@pytest.fixture(scope="session")
+def tiny_cluster():
+    """Two Perlmutter nodes (8 GPUs, 4 rails) — just fits the tiny workload."""
+    return perlmutter_testbed(num_nodes=2)

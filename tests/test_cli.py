@@ -1,0 +1,222 @@
+"""CLI tests: repro-sim backends / run / sweep / fig8 and the value parsers."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.cli import main, parse_cluster, parse_grid, parse_value
+
+
+# --------------------------------------------------------------------------- #
+# Parsers
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("true", True),
+        ("False", False),
+        ("none", None),
+        ("42", 42),
+        ("0.015", 0.015),
+        ("1e-5", 1e-5),
+        ("ring", "ring"),
+    ],
+)
+def test_parse_value(text, expected):
+    assert parse_value(text) == expected
+
+
+def test_parse_cluster_perlmutter():
+    cluster = parse_cluster("perlmutter:2")
+    assert cluster.num_gpus == 8
+
+
+def test_parse_cluster_dgx():
+    cluster = parse_cluster("dgx-h200:16:2")
+    assert cluster.num_gpus == 16
+    assert cluster.nic_ports_per_gpu == 2
+
+
+def test_parse_cluster_rejects_unknown_family():
+    with pytest.raises(ConfigurationError):
+        parse_cluster("abacus:3")
+
+
+def test_parse_grid():
+    grid = parse_grid(["reconfiguration_delay=1e-5,0.015", "provisioning=false,true"])
+    assert grid == {
+        "reconfiguration_delay": [1e-5, 0.015],
+        "provisioning": [False, True],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+
+
+def test_backends_subcommand_lists_all_backends(capsys):
+    assert main(["backends", "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert {"photonic", "electrical", "ideal", "fattree", "railopt", "ocs"} <= {
+        row["name"] for row in rows
+    }
+
+
+@pytest.mark.parametrize(
+    "backend", ["photonic", "electrical", "ideal", "fattree", "railopt", "ocs"]
+)
+def test_run_subcommand_works_on_every_backend(backend, capsys):
+    code = main(
+        [
+            "run",
+            "--backend",
+            backend,
+            "--workload",
+            "tiny",
+            "--cluster",
+            "perlmutter:2",
+            "--iterations",
+            "1",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["backend"] == backend
+    assert payload["metrics"]["mean_iteration_time"] > 0
+
+
+def test_run_subcommand_rejects_unknown_backend(capsys):
+    assert main(["run", "--backend", "carrier-pigeon"]) == 2
+    assert "unknown backend" in capsys.readouterr().err
+
+
+def test_run_subcommand_rejects_unknown_workload(capsys):
+    assert main(["run", "--workload", "cobol-monolith"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_run_subcommand_csv_output(capsys):
+    code = main(
+        ["run", "--backend", "ideal", "--iterations", "1", "--format", "csv"]
+    )
+    assert code == 0
+    rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+    assert len(rows) == 1
+    assert rows[0]["backend"] == "ideal"
+    assert float(rows[0]["mean_iteration_time"]) > 0
+
+
+def test_sweep_subcommand_runs_a_grid(capsys):
+    code = main(
+        [
+            "sweep",
+            "--backend",
+            "ocs",
+            "--iterations",
+            "1",
+            "--grid",
+            "reconfiguration_delay=1e-5,0.015",
+            "--workers",
+            "2",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    rows = json.loads(captured.out)
+    assert len(rows) == 2
+    assert "2 points" in captured.err
+    delays = [row["name"] for row in rows]
+    assert delays == sorted(delays, key=lambda n: float(n.split("=")[1].rstrip("]")))
+
+
+def test_sweep_subcommand_requires_a_grid(capsys):
+    assert main(["sweep", "--backend", "ideal"]) == 2
+    assert "--grid" in capsys.readouterr().err
+
+
+def test_sweep_csv_includes_swept_knob_columns(capsys):
+    code = main(
+        [
+            "sweep",
+            "--backend",
+            "ocs",
+            "--iterations",
+            "1",
+            "--grid",
+            "reconfiguration_delay=1e-5,0.015",
+            "--format",
+            "csv",
+        ]
+    )
+    assert code == 0
+    rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+    assert [float(row["reconfiguration_delay"]) for row in rows] == [1e-5, 0.015]
+
+
+def test_single_point_sweep_still_emits_a_json_array(capsys):
+    code = main(
+        [
+            "sweep",
+            "--backend",
+            "ideal",
+            "--iterations",
+            "1",
+            "--grid",
+            "num_iterations=1",
+        ]
+    )
+    assert code == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert isinstance(rows, list) and len(rows) == 1
+
+
+def test_non_numeric_delay_inputs_get_clean_errors(capsys):
+    assert main(["fig8", "--delays", "1e-5,abc"]) == 2
+    assert "comma-separated seconds" in capsys.readouterr().err
+    assert main(["run", "--backend", "ocs", "--knob", "reconfiguration_delay=fast"]) == 2
+    assert "must be a number" in capsys.readouterr().err
+
+
+def test_grid_resolves_technology_names(capsys):
+    code = main(
+        [
+            "sweep",
+            "--backend",
+            "ocs",
+            "--iterations",
+            "1",
+            "--grid",
+            "technology=PLZT,Piezo",
+        ]
+    )
+    assert code == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 2
+    delays = [row["metrics"]["exposed_reconfig_time"] for row in rows]
+    assert delays[0] < delays[1]  # PLZT switches ~6 orders faster than piezo
+
+
+def test_fig8_subcommand(capsys, tmp_path):
+    out = tmp_path / "fig8.json"
+    code = main(
+        [
+            "fig8",
+            "--delays",
+            "1e-5,0.015",
+            "--iterations",
+            "2",
+            "--output",
+            str(out),
+        ]
+    )
+    assert code == 0
+    rows = json.loads(out.read_text())
+    assert len(rows) == 4  # two delays x (provisioning off/on)
+    for row in rows:
+        assert row["normalized_iteration_time"] >= 1.0 - 1e-9

@@ -1,0 +1,87 @@
+"""Closed-form checks of the ring/tree alpha–beta collective cost models."""
+
+import math
+
+import pytest
+
+from repro.collectives.cost_model import LinkParameters, RingCostModel, TreeCostModel
+from repro.collectives.primitives import CollectiveOp, CollectiveType
+
+LINK = LinkParameters(bandwidth=50e9, latency=2e-6, per_message_overhead=5e-6)
+ALPHA = LINK.latency + LINK.per_message_overhead
+BETA = 1.0 / LINK.bandwidth
+
+
+def _op(collective, n, size):
+    return CollectiveOp(collective=collective, group=tuple(range(n)), size_bytes=size)
+
+
+def test_link_parameters_expose_alpha_beta():
+    assert LINK.alpha == pytest.approx(7e-6)
+    assert LINK.beta == pytest.approx(2e-11)
+
+
+@pytest.mark.parametrize("n,size", [(2, 1e6), (4, 64e6), (8, 512e6)])
+def test_ring_allreduce_formula(n, size):
+    # AllReduce over a ring: 2(n-1) steps, 2 S (n-1)/n bytes on the wire.
+    expected = 2 * (n - 1) * ALPHA + 2.0 * size * (n - 1) / n * BETA
+    got = RingCostModel().collective_time(_op(CollectiveType.ALL_REDUCE, n, size), LINK)
+    assert got == pytest.approx(expected, rel=1e-12)
+
+
+@pytest.mark.parametrize("n,size", [(2, 1e6), (4, 64e6)])
+def test_ring_allgather_formula(n, size):
+    # AllGather: (n-1) steps, S (n-1) bytes (per-rank shard convention).
+    expected = (n - 1) * ALPHA + size * (n - 1) * BETA
+    got = RingCostModel().collective_time(_op(CollectiveType.ALL_GATHER, n, size), LINK)
+    assert got == pytest.approx(expected, rel=1e-12)
+
+
+def test_ring_reduce_scatter_formula():
+    n, size = 4, 32e6
+    expected = (n - 1) * ALPHA + size * (n - 1) / n * BETA
+    got = RingCostModel().collective_time(
+        _op(CollectiveType.REDUCE_SCATTER, n, size), LINK
+    )
+    assert got == pytest.approx(expected, rel=1e-12)
+
+
+def test_send_recv_formula():
+    size = 16e6
+    expected = ALPHA + size * BETA
+    got = RingCostModel().collective_time(_op(CollectiveType.SEND_RECV, 2, size), LINK)
+    assert got == pytest.approx(expected, rel=1e-12)
+
+
+def test_single_rank_collectives_are_free():
+    op = _op(CollectiveType.ALL_REDUCE, 1, 1e9)
+    assert RingCostModel().collective_time(op, LINK) == 0.0
+    assert TreeCostModel().collective_time(op, LINK) == 0.0
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_tree_allreduce_formula(n):
+    # Double binary tree: log2(n) latency rounds, 2 S bandwidth term.
+    size = 128e6
+    rounds = max(1, math.ceil(math.log2(n)))
+    expected = rounds * ALPHA + 2.0 * size * BETA
+    got = TreeCostModel().collective_time(_op(CollectiveType.ALL_REDUCE, n, size), LINK)
+    assert got == pytest.approx(expected, rel=1e-12)
+
+
+def test_tree_beats_ring_on_latency_dominated_collectives():
+    # Tiny payload, large group: the log2(n) latency term must win.
+    op = _op(CollectiveType.ALL_REDUCE, 16, 1024)
+    ring = RingCostModel().collective_time(op, LINK)
+    tree = TreeCostModel().collective_time(op, LINK)
+    assert tree < ring
+
+
+def test_ring_beats_tree_on_bandwidth_dominated_allgather():
+    # AllGather moves (n-1)S on a ring either way, but the ring never pays
+    # more than tree's recursive-doubling latency for huge payloads.
+    op = _op(CollectiveType.ALL_REDUCE, 4, 4e9)
+    ring = RingCostModel().collective_time(op, LINK)
+    tree = TreeCostModel().collective_time(op, LINK)
+    # 2S(n-1)/n < 2S: ring sends strictly less on the wire.
+    assert ring < tree

@@ -1,0 +1,75 @@
+"""End-to-end regression: one tiny scenario through every registered backend.
+
+Asserts the invariants any sane fabric model must satisfy: finite positive
+iteration times, a monotonically advancing clock, and the ideal (zero-cost)
+backend lower-bounding every real fabric.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentRunner, Scenario, available_backends
+
+ITERATIONS = 2
+
+
+@pytest.fixture(scope="module")
+def results(tiny_workload, tiny_cluster):
+    runner = ExperimentRunner(max_workers=2)
+    out = {}
+    for name in available_backends():
+        out[name] = runner.run(
+            Scenario(
+                workload=tiny_workload,
+                cluster=tiny_cluster,
+                backend=name,
+                num_iterations=ITERATIONS,
+                name=f"e2e-{name}",
+            )
+        )
+    return out
+
+
+def test_all_backends_were_exercised(results):
+    assert {"photonic", "electrical", "ideal", "fattree", "railopt", "ocs"} <= set(
+        results
+    )
+
+
+def test_iteration_times_are_finite_and_positive(results):
+    for name, result in results.items():
+        assert len(result.iteration_times) == ITERATIONS
+        for value in result.iteration_times:
+            assert math.isfinite(value), f"{name}: non-finite iteration time"
+            assert value > 0, f"{name}: non-positive iteration time"
+
+
+def test_simulation_clock_advances_monotonically(results):
+    for name, result in results.items():
+        # total_time is the end of the last iteration; every iteration adds a
+        # positive makespan, so the cumulative clock must strictly increase.
+        assert result.metrics["total_time"] >= sum(result.iteration_times) - 1e-9, name
+        assert result.metrics["total_time"] > 0, name
+
+
+def test_ideal_backend_lower_bounds_every_fabric(results):
+    ideal = results["ideal"].metrics["steady_iteration_time"]
+    for name, result in results.items():
+        assert (
+            result.metrics["steady_iteration_time"] >= ideal - 1e-12
+        ), f"{name} beat the zero-cost network"
+
+
+def test_real_fabrics_pay_for_communication(results):
+    ideal = results["ideal"].metrics["steady_iteration_time"]
+    for name in ("electrical", "photonic", "fattree", "railopt", "ocs"):
+        assert results[name].metrics["steady_iteration_time"] > ideal, name
+        assert results[name].metrics["scaleout_comm_time"] > 0, name
+
+
+def test_only_circuit_fabrics_reconfigure(results):
+    for name in ("electrical", "ideal", "fattree", "railopt"):
+        assert sum(results[name].reconfigurations) == 0, name
+    # The bare OCS fabric must pay at least the cold-start reconfiguration.
+    assert sum(results["ocs"].reconfigurations) > 0

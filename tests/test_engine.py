@@ -1,0 +1,86 @@
+"""Unit tests for the discrete-event engine: ordering, FIFO ties, cancellation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.engine import SimulationEngine
+
+
+def test_events_execute_in_time_order():
+    engine = SimulationEngine()
+    order = []
+    engine.schedule(3.0, lambda _e, p: order.append(p), "late")
+    engine.schedule(1.0, lambda _e, p: order.append(p), "early")
+    engine.schedule(2.0, lambda _e, p: order.append(p), "middle")
+    engine.run()
+    assert order == ["early", "middle", "late"]
+    assert engine.now == 3.0
+    assert engine.events_processed == 3
+
+
+def test_same_time_events_keep_fifo_order():
+    engine = SimulationEngine()
+    order = []
+    for label in ("first", "second", "third"):
+        engine.schedule(5.0, lambda _e, p: order.append(p), label)
+    engine.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_cancelled_events_are_skipped():
+    engine = SimulationEngine()
+    order = []
+    keep = engine.schedule(1.0, lambda _e, p: order.append(p), "keep")
+    drop = engine.schedule(2.0, lambda _e, p: order.append(p), "drop")
+    drop.cancel()
+    engine.run()
+    assert order == ["keep"]
+    assert engine.events_processed == 1
+    assert keep.cancelled is False
+
+
+def test_scheduling_in_the_past_raises():
+    engine = SimulationEngine()
+    engine.schedule(2.0, lambda _e, _p: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule(1.0, lambda _e, _p: None)
+    with pytest.raises(SimulationError):
+        engine.schedule_in(-0.5, lambda _e, _p: None)
+
+
+def test_events_scheduled_from_callbacks_run_in_order():
+    engine = SimulationEngine()
+    order = []
+
+    def chain(eng, payload):
+        order.append(payload)
+        if payload < 3:
+            eng.schedule_in(1.0, chain, payload + 1)
+
+    engine.schedule(0.0, chain, 1)
+    engine.run()
+    assert order == [1, 2, 3]
+    assert engine.now == 2.0
+
+
+def test_run_until_stops_the_clock_without_draining():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(1.0, lambda _e, p: fired.append(p), "a")
+    engine.schedule(10.0, lambda _e, p: fired.append(p), "b")
+    stopped_at = engine.run(until=5.0)
+    assert fired == ["a"]
+    assert stopped_at == 5.0
+    assert engine.pending == 1
+
+
+def test_event_budget_guards_runaway_loops():
+    engine = SimulationEngine()
+
+    def forever(eng, _payload):
+        eng.schedule_in(1.0, forever)
+
+    engine.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        engine.run(max_events=100)

@@ -1,0 +1,61 @@
+"""Metrics tests: empty-trace errors and busy-time accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallelism.trace import ComputeRecord, IterationTrace, TrainingTrace
+from repro.simulator.metrics import (
+    iteration_metrics,
+    mean_iteration_time,
+    normalized_iteration_time,
+)
+
+
+def _trace_with_compute(intervals, iteration=0):
+    trace = IterationTrace(iteration=iteration)
+    for op_id, (start, end) in enumerate(intervals):
+        trace.compute_records.append(
+            ComputeRecord(op_id=op_id, ranks=(0,), start=start, end=end)
+        )
+    return trace
+
+
+def test_mean_iteration_time_raises_on_empty_training_trace():
+    with pytest.raises(SimulationError):
+        mean_iteration_time(TrainingTrace())
+
+
+def test_trace_mean_iteration_time_raises_on_empty_training_trace():
+    with pytest.raises(SimulationError):
+        TrainingTrace().mean_iteration_time()
+
+
+def test_normalized_iteration_time_raises_on_empty_baseline():
+    candidate = TrainingTrace()
+    candidate.add(_trace_with_compute([(0.0, 1.0)]))
+    with pytest.raises(SimulationError):
+        normalized_iteration_time(candidate, TrainingTrace())
+
+
+def test_mean_iteration_time_skip_first_excludes_profiling_iteration():
+    training = TrainingTrace()
+    training.add(_trace_with_compute([(0.0, 3.0)], iteration=0))
+    training.add(_trace_with_compute([(3.0, 4.0)], iteration=1))
+    training.add(_trace_with_compute([(4.0, 5.0)], iteration=2))
+    assert mean_iteration_time(training) == pytest.approx(5.0 / 3.0)
+    assert mean_iteration_time(training, skip_first=True) == pytest.approx(1.0)
+
+
+def test_mean_iteration_time_skip_first_keeps_a_single_iteration():
+    training = TrainingTrace()
+    training.add(_trace_with_compute([(0.0, 2.0)]))
+    assert mean_iteration_time(training, skip_first=True) == pytest.approx(2.0)
+
+
+def test_iteration_metrics_merges_overlapping_compute_intervals():
+    # [0, 2) and [1, 3) overlap: busy time is 3, not 4.
+    trace = _trace_with_compute([(0.0, 2.0), (1.0, 3.0)])
+    metrics = iteration_metrics(trace)
+    assert metrics.compute_time == pytest.approx(3.0)
+    assert metrics.iteration_time == pytest.approx(3.0)
+    assert metrics.comm_time == 0.0

@@ -1,0 +1,147 @@
+"""Experiment-runner tests: grid expansion, memoization, parallel fan-out."""
+
+import threading
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    ExperimentRunner,
+    Scenario,
+    expand_grid,
+    scenario_hash,
+)
+
+
+@pytest.fixture()
+def base(tiny_workload, tiny_cluster):
+    return Scenario(
+        workload=tiny_workload,
+        cluster=tiny_cluster,
+        backend="ideal",
+        num_iterations=1,
+        name="base",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Scenario + grid expansion
+# --------------------------------------------------------------------------- #
+
+
+def test_scenario_rejects_oversized_workloads(tiny_workload):
+    from repro.topology.devices import perlmutter_testbed
+
+    with pytest.raises(ConfigurationError):
+        Scenario(workload=tiny_workload, cluster=perlmutter_testbed(num_nodes=1))
+
+
+def test_scenario_hash_ignores_name_but_not_config(base):
+    from dataclasses import replace
+
+    assert scenario_hash(base) == scenario_hash(replace(base, name="other"))
+    assert scenario_hash(base) != scenario_hash(replace(base, num_iterations=2))
+    assert scenario_hash(base) != scenario_hash(base.with_knobs(x=1))
+
+
+def test_expand_grid_orders_first_key_slowest(base):
+    scenarios = expand_grid(
+        base, {"delay": [1, 2], "provisioning": [False, True]}
+    )
+    labels = [s.name for s in scenarios]
+    assert labels == [
+        "base[delay=1,provisioning=False]",
+        "base[delay=1,provisioning=True]",
+        "base[delay=2,provisioning=False]",
+        "base[delay=2,provisioning=True]",
+    ]
+    assert scenarios[0].knobs == {"delay": 1, "provisioning": False}
+
+
+def test_expand_grid_scenario_fields_override_instead_of_knobbing(base):
+    scenarios = expand_grid(base, {"backend": ["ideal", "electrical"]})
+    assert [s.backend for s in scenarios] == ["ideal", "electrical"]
+    assert all(s.knobs == {} for s in scenarios)
+
+
+def test_expand_grid_empty_grid_returns_base(base):
+    assert expand_grid(base, {}) == [base]
+
+
+# --------------------------------------------------------------------------- #
+# Memoization
+# --------------------------------------------------------------------------- #
+
+
+def test_repeated_scenarios_hit_the_cache(base):
+    runner = ExperimentRunner(max_workers=2)
+    first = runner.run(base)
+    second = runner.run(base)
+    assert runner.cache_misses == 1
+    assert runner.cache_hits == 1
+    assert first is second  # served straight from the cache
+
+
+def test_duplicate_points_within_one_sweep_are_simulated_once(base):
+    runner = ExperimentRunner(max_workers=2)
+    results = runner.sweep(base, {"num_iterations": [1, 2, 1]})
+    assert len(results) == 3
+    assert runner.cache_misses == 2
+    assert runner.cache_hits == 1
+    assert results[0].metrics == results[2].metrics
+
+
+def test_clear_cache_resets_statistics(base):
+    runner = ExperimentRunner()
+    runner.run(base)
+    runner.clear_cache()
+    assert runner.cache_size == 0
+    runner.run(base)
+    assert runner.cache_misses == 1
+
+
+# --------------------------------------------------------------------------- #
+# Parallel fan-out
+# --------------------------------------------------------------------------- #
+
+
+def test_sweep_uses_all_configured_workers(base, monkeypatch):
+    workers = 3
+    barrier = threading.Barrier(workers, timeout=30)
+    real = runner_module.run_scenario
+
+    def synchronized(scenario):
+        # Only passes if `workers` scenarios are in flight simultaneously,
+        # i.e. the runner really fanned out over every configured worker.
+        barrier.wait()
+        return real(scenario)
+
+    monkeypatch.setattr(runner_module, "run_scenario", synchronized)
+    runner = ExperimentRunner(max_workers=workers, executor="thread")
+    results = runner.sweep(base, {"num_iterations": [1, 2, 3]})
+    assert len(results) == 3
+    assert len({result.worker for result in results}) == workers
+
+
+def test_serial_executor_produces_identical_results(base):
+    parallel = ExperimentRunner(max_workers=4, executor="thread")
+    serial = ExperimentRunner(executor="serial")
+    grid = {"num_iterations": [1, 2]}
+    parallel_metrics = [r.metrics for r in parallel.sweep(base, grid)]
+    serial_metrics = [r.metrics for r in serial.sweep(base, grid)]
+    assert parallel_metrics == serial_metrics
+
+
+def test_process_executor_smoke(base):
+    runner = ExperimentRunner(max_workers=2, executor="process")
+    results = runner.sweep(base, {"num_iterations": [1, 2]})
+    assert len(results) == 2
+    assert all(r.metrics["steady_iteration_time"] > 0 for r in results)
+
+
+def test_invalid_executor_and_workers_are_rejected():
+    with pytest.raises(ConfigurationError):
+        ExperimentRunner(executor="quantum")
+    with pytest.raises(ConfigurationError):
+        ExperimentRunner(max_workers=0)

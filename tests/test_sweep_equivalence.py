@@ -1,0 +1,73 @@
+"""The ExperimentRunner-based Fig. 8 sweep must reproduce the direct-path numbers.
+
+The original ``reconfiguration_latency_sweep`` looped over
+``PhotonicRailSystem.run`` / ``run_baseline`` inline.  This suite recomputes
+the sweep that way and checks the new runner-driven implementation (parallel
+workers, memoized scenarios, fresh DAG per scenario) produces the same
+numbers.
+"""
+
+import pytest
+
+from repro.core.system import (
+    PhotonicRailSystem,
+    SystemConfig,
+    reconfiguration_latency_sweep,
+)
+from repro.experiments import ExperimentRunner
+from repro.simulator.metrics import mean_iteration_time
+
+DELAYS = [1e-5, 0.015]
+ITERATIONS = 3
+
+
+def _direct_sweep(workload, cluster):
+    """The pre-refactor computation, written out longhand."""
+    system = PhotonicRailSystem(
+        workload, cluster, SystemConfig(num_iterations=ITERATIONS)
+    )
+    baseline = system.run_baseline()
+    baseline_time = mean_iteration_time(baseline, skip_first=True)
+    points = []
+    for delay in DELAYS:
+        for provisioning in (False, True):
+            trace, _network = system.run(
+                reconfiguration_delay=delay, provisioning=provisioning
+            )
+            steady = list(trace.iterations)[1:] or list(trace.iterations)
+            mean_time = sum(t.iteration_time for t in steady) / len(steady)
+            reconfigs = sum(t.num_reconfigurations() for t in steady) / len(steady)
+            exposed = sum(
+                t.total_reconfiguration_blocking() for t in steady
+            ) / len(steady)
+            points.append(
+                (delay, provisioning, mean_time, mean_time / baseline_time, reconfigs, exposed)
+            )
+    return points
+
+
+def test_runner_sweep_reproduces_direct_path_numbers(tiny_workload, tiny_cluster):
+    expected = _direct_sweep(tiny_workload, tiny_cluster)
+    runner = ExperimentRunner(max_workers=4)
+    points = reconfiguration_latency_sweep(
+        tiny_workload, tiny_cluster, DELAYS, num_iterations=ITERATIONS, runner=runner
+    )
+    assert len(points) == len(expected)
+    for point, (delay, provisioning, mean_time, normalized, reconfigs, exposed) in zip(
+        points, expected
+    ):
+        assert point.reconfiguration_delay == delay
+        assert point.provisioning == provisioning
+        assert point.iteration_time == pytest.approx(mean_time, rel=1e-9)
+        assert point.normalized_iteration_time == pytest.approx(normalized, rel=1e-9)
+        assert point.reconfigurations_per_iteration == pytest.approx(reconfigs)
+        assert point.exposed_reconfig_time == pytest.approx(exposed, abs=1e-12)
+    # The photonic grid plus the electrical baseline were all cache misses...
+    assert runner.cache_misses == len(DELAYS) * 2 + 1
+    # ...and re-running the sweep is served entirely from the cache.
+    runner_hits_before = runner.cache_hits
+    reconfiguration_latency_sweep(
+        tiny_workload, tiny_cluster, DELAYS, num_iterations=ITERATIONS, runner=runner
+    )
+    assert runner.cache_misses == len(DELAYS) * 2 + 1
+    assert runner.cache_hits == runner_hits_before + len(DELAYS) * 2 + 1

@@ -1,0 +1,136 @@
+"""Topology construction tests: fat-tree port counts, rail-opt inventory, OCS."""
+
+import pytest
+
+from repro.errors import CircuitConflictError, CircuitError, TopologyError
+from repro.topology.base import NodeKind, nic_port_node_name
+from repro.topology.devices import dgx_h200_cluster, perlmutter_testbed
+from repro.topology.fattree import build_fat_tree_fabric, fat_tree_inventory
+from repro.topology.ocs import Circuit, CircuitConfiguration, OpticalCircuitSwitch
+from repro.topology.railopt import build_rail_optimized_fabric, rail_optimized_inventory
+
+
+# --------------------------------------------------------------------------- #
+# Fat tree
+# --------------------------------------------------------------------------- #
+
+
+def test_fat_tree_every_nic_port_attaches_to_one_edge_switch():
+    cluster = perlmutter_testbed(num_nodes=2)
+    fabric = build_fat_tree_fabric(cluster)
+    topology = fabric.topology
+    ports_per_gpu = cluster.nic_port_config.num_ports
+    for gpu in range(cluster.num_gpus):
+        for port in range(ports_per_gpu):
+            name = nic_port_node_name(gpu, port)
+            edge_links = [
+                link
+                for link in topology.out_links(name)
+                if topology.node(link.dst).kind == NodeKind.ELECTRICAL_SWITCH
+            ]
+            assert len(edge_links) == 1, f"{name} must uplink to exactly one edge"
+
+
+def test_fat_tree_edge_switch_port_counts_respect_radix():
+    cluster = dgx_h200_cluster(num_gpus=64)
+    fabric = build_fat_tree_fabric(cluster)
+    topology = fabric.topology
+    radix = cluster.electrical_switch.radix
+    switches = topology.nodes(NodeKind.ELECTRICAL_SWITCH)
+    assert len(switches) == fabric.edge_switches + fabric.aggregation_switches + (
+        fabric.core_switches
+    )
+    for switch in switches:
+        # Each bidirectional neighbor pair is one physical port (possibly a
+        # fat aggregate); the un-aggregated host-facing side is exact.
+        down = [
+            link
+            for link in topology.in_links(switch.name)
+            if topology.node(link.src).kind == NodeKind.NIC_PORT
+        ]
+        assert len(down) <= radix
+
+
+def test_fat_tree_inventory_matches_graph_construction():
+    cluster = perlmutter_testbed(num_nodes=4)
+    inventory = fat_tree_inventory(cluster)
+    fabric = build_fat_tree_fabric(cluster)
+    assert fabric.inventory == inventory
+    assert inventory.electrical_switches > 0
+    assert inventory.ocs_ports == 0
+
+
+def test_fat_tree_is_fully_connected_across_domains():
+    cluster = perlmutter_testbed(num_nodes=2)
+    topology = build_fat_tree_fabric(cluster).topology
+    # GPU 0 (domain 0) must reach GPU 4 (domain 1) through the packet fabric.
+    path = topology.shortest_path("gpu0", "gpu4")
+    assert path, "expected a multi-hop path between domains"
+    assert topology.path_bottleneck_bandwidth(path) > 0
+
+
+# --------------------------------------------------------------------------- #
+# Rail-optimized
+# --------------------------------------------------------------------------- #
+
+
+def test_rail_optimized_inventory_matches_graph_construction():
+    cluster = perlmutter_testbed(num_nodes=4)
+    fabric = build_rail_optimized_fabric(cluster)
+    assert fabric.inventory == rail_optimized_inventory(cluster)
+    # One leaf per rail suffices for 4 endpoints against a 64-radix switch.
+    assert fabric.leaf_switches_per_rail == 1
+    assert fabric.spine_switches >= 1
+
+
+# --------------------------------------------------------------------------- #
+# OCS circuits
+# --------------------------------------------------------------------------- #
+
+
+def test_circuit_normalizes_port_order():
+    assert Circuit(7, 3) == Circuit(3, 7)
+    assert Circuit(7, 3).ports == (3, 7)
+
+
+def test_circuit_rejects_self_loops_and_negative_ports():
+    with pytest.raises(CircuitError):
+        Circuit(4, 4)
+    with pytest.raises(CircuitError):
+        Circuit(-1, 2)
+
+
+def test_configuration_rejects_port_conflicts():
+    with pytest.raises(CircuitConflictError):
+        CircuitConfiguration((Circuit(0, 1), Circuit(1, 2)))
+
+
+def test_switch_apply_reports_delta_and_preserves_shared_circuits():
+    switch = OpticalCircuitSwitch("test.ocs")
+    first = CircuitConfiguration((Circuit(0, 1), Circuit(2, 3)))
+    torn, set_up = switch.apply(first)
+    assert (torn, set_up) == (0, 2)
+    # Keep 0<->1, replace 2<->3 with 2<->4.
+    second = CircuitConfiguration((Circuit(0, 1), Circuit(2, 4)))
+    torn, set_up = switch.apply(second)
+    assert (torn, set_up) == (1, 1)
+    assert switch.is_connected(0, 1)
+    assert switch.is_connected(2, 4)
+    assert switch.reconfiguration_count == 2
+    # A no-op apply does not count as a reconfiguration.
+    torn, set_up = switch.apply(second)
+    assert (torn, set_up) == (0, 0)
+    assert switch.reconfiguration_count == 2
+
+
+def test_switch_rejects_ports_outside_radix():
+    switch = OpticalCircuitSwitch("test.ocs")
+    with pytest.raises(CircuitError):
+        switch.install(Circuit(0, switch.radix))
+
+
+def test_switch_install_conflict_raises():
+    switch = OpticalCircuitSwitch("test.ocs")
+    switch.install(Circuit(0, 1))
+    with pytest.raises(CircuitConflictError):
+        switch.install(Circuit(1, 2))
