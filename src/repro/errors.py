@@ -52,6 +52,15 @@ class DeadlockError(SimulationError):
     communication pattern)."""
 
 
+class ScenarioError(ReproError):
+    """A scenario failed to simulate.
+
+    Raised by the experiment runner with the failing scenario's name attached,
+    so that one bad point in a parallel sweep is attributable instead of
+    surfacing as a bare traceback from a worker process.
+    """
+
+
 class ControlPlaneError(ReproError):
     """An Opus control-plane component received an invalid request."""
 

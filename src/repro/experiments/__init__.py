@@ -8,17 +8,28 @@ This package turns the end-to-end simulator into an experiment platform:
   :class:`~repro.simulator.network.NetworkModel` interface.
 * :mod:`repro.experiments.runner` — declarative :class:`Scenario` specs, the
   memoized parallel :class:`ExperimentRunner`, and grid expansion.
+* :mod:`repro.experiments.contention` — bundled scenarios contrasting the
+  analytic and flow-level network modes (contention-free equivalence and the
+  shared-uplink incast divergence).
 * :mod:`repro.experiments.cli` — the ``repro-sim`` console script.
 """
 
 from .backends import (
     FabricBackend,
+    NETWORK_MODES,
     all_backends,
     available_backends,
     backend,
     create_network,
     get_backend,
     register_backend,
+)
+from .contention import (
+    NetworkModeComparison,
+    compare_network_modes,
+    contention_free_scenario,
+    mini_fat_tree_cluster,
+    shared_uplink_incast_scenario,
 )
 from .runner import (
     ExperimentRunner,
@@ -32,15 +43,21 @@ from .runner import (
 __all__ = [
     "ExperimentRunner",
     "FabricBackend",
+    "NETWORK_MODES",
+    "NetworkModeComparison",
     "Scenario",
     "ScenarioResult",
     "all_backends",
     "available_backends",
     "backend",
+    "compare_network_modes",
+    "contention_free_scenario",
     "create_network",
     "expand_grid",
     "get_backend",
+    "mini_fat_tree_cluster",
     "register_backend",
     "run_scenario",
     "scenario_hash",
+    "shared_uplink_incast_scenario",
 ]

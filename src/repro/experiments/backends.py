@@ -10,15 +10,24 @@ name.  The registry ships with six backends:
                proposal; knobs: ``reconfiguration_delay``, ``provisioning``,
                ``technology``)
 ``electrical`` fully-connected electrical rails, the Fig. 8 baseline
-               (knob: ``use_tree_collectives``)
+               (knobs: ``use_tree_collectives``, ``network_mode``)
 ``ideal``      zero-cost network — the communication-free lower bound
-``fattree``    transfers routed through the k-ary fat-tree graph
+``fattree``    transfers routed through the k-ary fat-tree graph (knobs:
+               ``network_mode``, ``oversubscription``)
 ``railopt``    transfers routed through the leaf/spine rail-optimized graph
-               (knob: ``always_spine``)
+               (knobs: ``always_spine``, ``network_mode``)
 ``ocs``        bare OCS rails without Opus: every circuit-schedule change
                blocks for the switching delay (knobs:
                ``reconfiguration_delay``, ``technology``)
 ========== ==================================================================
+
+The ``electrical``, ``fattree``, and ``railopt`` backends accept a
+``network_mode`` knob selecting how collectives are timed: ``"analytic"``
+(default) prices each collective independently with the alpha–beta cost
+model, while ``"flow"`` expands scale-out collectives into point-to-point
+transfers simulated with max–min fair sharing
+(:class:`~repro.simulator.flow_network.FlowNetworkModel`), so concurrent
+collectives contend for shared fabric links.
 
 Third parties register additional fabrics with the :func:`backend` decorator
 (or :func:`register_backend`); the experiment runner and the ``repro-sim`` CLI
@@ -37,6 +46,11 @@ from ..simulator.fabric_network import (
     FatTreeNetworkModel,
     OCSReconfigurableNetworkModel,
     RailOptimizedNetworkModel,
+)
+from ..simulator.flow_network import (
+    electrical_flow_network,
+    fat_tree_flow_network,
+    rail_optimized_flow_network,
 )
 from ..simulator.network import (
     ElectricalRailNetworkModel,
@@ -137,6 +151,18 @@ def create_network(
 # Built-in backends
 # --------------------------------------------------------------------------- #
 
+#: Values accepted by the ``network_mode`` knob.
+NETWORK_MODES = ("analytic", "flow")
+
+
+def _check_network_mode(network_mode: object) -> str:
+    mode = "analytic" if network_mode is None else network_mode
+    if mode not in NETWORK_MODES:
+        raise ConfigurationError(
+            f"network_mode must be one of {NETWORK_MODES}, got {network_mode!r}"
+        )
+    return str(mode)
+
 
 @backend(
     "photonic",
@@ -171,14 +197,22 @@ def _photonic_backend(
 @backend(
     "electrical",
     "Fully-connected electrical rails (the Fig. 8 baseline)",
-    knobs=("use_tree_collectives",),
+    knobs=("use_tree_collectives", "network_mode"),
 )
 def _electrical_backend(
     cluster: ClusterSpec,
     mesh: DeviceMesh,
     registry: Optional[GroupRegistry] = None,
     use_tree_collectives: bool = False,
+    network_mode: Optional[str] = None,
 ) -> NetworkModel:
+    if _check_network_mode(network_mode) == "flow":
+        if use_tree_collectives:
+            raise ConfigurationError(
+                "network_mode='flow' expands ring algorithms only; "
+                "use_tree_collectives is not supported in flow mode"
+            )
+        return electrical_flow_network(cluster, mesh)
     return ElectricalRailNetworkModel(
         cluster, mesh, use_tree_collectives=bool(use_tree_collectives)
     )
@@ -193,26 +227,42 @@ def _ideal_backend(
     return IdealNetworkModel(cluster, mesh)
 
 
-@backend("fattree", "Packet transfers routed through the k-ary fat-tree graph")
+@backend(
+    "fattree",
+    "Packet transfers routed through the k-ary fat-tree graph",
+    knobs=("network_mode", "oversubscription"),
+)
 def _fattree_backend(
     cluster: ClusterSpec,
     mesh: DeviceMesh,
     registry: Optional[GroupRegistry] = None,
+    network_mode: Optional[str] = None,
+    oversubscription: float = 1.0,
 ) -> NetworkModel:
-    return FatTreeNetworkModel(cluster, mesh)
+    oversubscription = float(oversubscription)
+    if _check_network_mode(network_mode) == "flow":
+        return fat_tree_flow_network(
+            cluster, mesh, oversubscription=oversubscription
+        )
+    return FatTreeNetworkModel(cluster, mesh, oversubscription=oversubscription)
 
 
 @backend(
     "railopt",
     "Packet transfers routed through the leaf/spine rail-optimized graph",
-    knobs=("always_spine",),
+    knobs=("always_spine", "network_mode"),
 )
 def _railopt_backend(
     cluster: ClusterSpec,
     mesh: DeviceMesh,
     registry: Optional[GroupRegistry] = None,
     always_spine: bool = True,
+    network_mode: Optional[str] = None,
 ) -> NetworkModel:
+    if _check_network_mode(network_mode) == "flow":
+        return rail_optimized_flow_network(
+            cluster, mesh, always_spine=bool(always_spine)
+        )
     return RailOptimizedNetworkModel(cluster, mesh, always_spine=bool(always_spine))
 
 

@@ -9,6 +9,11 @@ Subcommands
       repro-sim run --backend photonic --workload tiny --cluster perlmutter:2 \\
           --knob reconfiguration_delay=0.015 --iterations 3 --format json
 
+  ``--network-mode flow`` switches the electrical, fat-tree, and
+  rail-optimized backends from analytic alpha–beta pricing to flow-level
+  simulation with max–min fair link sharing; it also works as a sweep
+  dimension (``--grid network_mode=analytic,flow``).
+
 * ``repro-sim sweep`` — fan a parameter grid out over parallel workers::
 
       repro-sim sweep --backend photonic --workload tiny --cluster perlmutter:2 \\
@@ -42,7 +47,7 @@ from ..parallelism.workloads import (
 )
 from ..simulator.executor import SimulationConfig
 from ..topology.devices import ClusterSpec, OCS_CATALOG, dgx_h200_cluster, perlmutter_testbed
-from .backends import all_backends, get_backend
+from .backends import NETWORK_MODES, all_backends, get_backend
 from .runner import ExperimentRunner, Scenario, ScenarioResult
 
 WORKLOAD_PRESETS: Dict[str, Callable[..., WorkloadConfig]] = {
@@ -233,6 +238,15 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="KEY=VALUE",
         help="backend knob (repeatable), e.g. reconfiguration_delay=0.015",
     )
+    parser.add_argument(
+        "--network-mode",
+        choices=NETWORK_MODES,
+        default=None,
+        help="how collectives are timed: 'analytic' alpha-beta pricing or "
+        "'flow' max-min fair flow simulation with link contention "
+        "(shorthand for --knob network_mode=...; electrical, fattree, and "
+        "railopt backends)",
+    )
     parser.add_argument("--format", choices=("json", "csv"), default="json")
     parser.add_argument("--output", default=None, help="write to file instead of stdout")
 
@@ -241,11 +255,20 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
     get_backend(args.backend)  # fail fast on unknown backends
     workload = parse_workload(args.workload, args.workload_arg)
     cluster = parse_cluster(args.cluster)
+    knobs = parse_knobs(args.knob)
+    if args.network_mode is not None:
+        existing = knobs.get("network_mode")
+        if existing is not None and existing != args.network_mode:
+            raise ConfigurationError(
+                f"--network-mode {args.network_mode} conflicts with "
+                f"--knob network_mode={existing}"
+            )
+        knobs["network_mode"] = args.network_mode
     return Scenario(
         workload=workload,
         cluster=cluster,
         backend=args.backend,
-        knobs=parse_knobs(args.knob),
+        knobs=knobs,
         num_iterations=args.iterations,
         simulation=SimulationConfig(mfu=args.mfu),
         name=f"{args.workload}@{args.backend}",
@@ -283,6 +306,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     grid = parse_grid(args.grid)
     if not grid:
         raise ConfigurationError("a sweep needs at least one --grid key=v1,v2,...")
+    if args.network_mode is not None and "network_mode" in grid:
+        raise ConfigurationError(
+            "--network-mode conflicts with --grid network_mode=...; "
+            "pick one way to select the mode"
+        )
     runner = ExperimentRunner(max_workers=args.workers, executor=args.executor)
     results = runner.sweep(scenario, grid)
     _emit(_result_rows(results, args.format), args.format, args.output)

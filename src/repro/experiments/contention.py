@@ -1,0 +1,115 @@
+"""Bundled scenarios contrasting the analytic and flow-level network modes.
+
+Two reference scenarios anchor the flow-level network mode:
+
+* :func:`contention_free_scenario` — a DP-only workload on fully-connected
+  electrical rails.  Every scale-out collective owns its links, so the flow
+  expansion must reproduce the analytic alpha–beta prediction (the modes are
+  asserted equal within 2% in the test suite).
+* :func:`shared_uplink_incast_scenario` — the divergence demonstration: four
+  per-rail DP rings run concurrently over a small-radix, oversubscribed
+  fat-tree whose edge uplinks their routes share.  The analytic model prices
+  each ring as if it owned the uplink; the flow-level mode max–min fair
+  shares it, so flow mode is strictly slower — contention the analytic mode
+  cannot see.
+
+:func:`compare_network_modes` runs any scenario under both modes and reports
+the slowdown, which is how the ``repro-sim`` CLI and the tests consume these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..parallelism.workloads import small_test_workload
+from ..topology.devices import ClusterSpec, ElectricalSwitchSpec, perlmutter_testbed
+from ..units import GBPS
+from .runner import ExperimentRunner, Scenario, ScenarioResult
+
+#: A deliberately tiny packet switch: with radix 4 every edge switch hosts
+#: only two NIC ports, so cross-node routes must climb into the shared
+#: aggregation/core tiers — the preconditions for link contention.
+MINI_SWITCH = ElectricalSwitchSpec(
+    name="mini-4x400G",
+    radix=4,
+    port_bandwidth=400 * GBPS,
+    cost_dollars=1_000.0,
+    power_watts=100.0,
+)
+
+
+def mini_fat_tree_cluster(num_nodes: int = 4) -> ClusterSpec:
+    """A Perlmutter-style testbed whose fat-tree uses the tiny radix-4 switch."""
+    return replace(perlmutter_testbed(num_nodes=num_nodes), electrical_switch=MINI_SWITCH)
+
+
+def contention_free_scenario(num_iterations: int = 2) -> Scenario:
+    """DP-only workload on fully-connected rails: no shared links anywhere.
+
+    TP=4 keeps tensor parallelism on NVLink; the single DP axis puts one rank
+    per node on each rail, and the fully-connected electrical fabric gives
+    every rail pair a dedicated route.
+    """
+    return Scenario(
+        workload=small_test_workload(pp=1, dp=2, tp=4),
+        cluster=perlmutter_testbed(num_nodes=2),
+        backend="electrical",
+        num_iterations=num_iterations,
+        name="contention-free",
+    )
+
+
+def shared_uplink_incast_scenario(
+    oversubscription: float = 4.0, num_iterations: int = 2
+) -> Scenario:
+    """Concurrent per-rail DP rings sharing oversubscribed fat-tree uplinks.
+
+    With TP=4 and DP=4 on four nodes, each rail carries one DP ring and all
+    four rings run concurrently (they serve different tensor shards of the
+    same layer).  On the mini fat-tree their cross-node hops funnel through
+    the same edge-to-aggregation uplinks, which ``oversubscription`` thins
+    further — a shared-link incast the analytic mode prices away.
+    """
+    return Scenario(
+        workload=small_test_workload(pp=1, dp=4, tp=4),
+        cluster=mini_fat_tree_cluster(num_nodes=4),
+        backend="fattree",
+        knobs={"oversubscription": float(oversubscription)},
+        num_iterations=num_iterations,
+        name="shared-uplink-incast",
+    )
+
+
+@dataclass(frozen=True)
+class NetworkModeComparison:
+    """Steady-state iteration times of one scenario under both network modes."""
+
+    scenario: str
+    analytic: ScenarioResult
+    flow: ScenarioResult
+
+    @property
+    def analytic_time(self) -> float:
+        """Steady-state iteration time under the analytic mode, seconds."""
+        return self.analytic.metrics["steady_iteration_time"]
+
+    @property
+    def flow_time(self) -> float:
+        """Steady-state iteration time under the flow-level mode, seconds."""
+        return self.flow.metrics["steady_iteration_time"]
+
+    @property
+    def slowdown(self) -> float:
+        """Flow-mode slowdown relative to analytic (1.0 = modes agree)."""
+        return self.flow_time / self.analytic_time
+
+
+def compare_network_modes(
+    scenario: Scenario, runner: Optional[ExperimentRunner] = None
+) -> NetworkModeComparison:
+    """Run ``scenario`` under both network modes and report the slowdown."""
+    runner = runner or ExperimentRunner(executor="serial")
+    analytic = runner.run(scenario.with_knobs(network_mode="analytic"))
+    flow = runner.run(scenario.with_knobs(network_mode="flow"))
+    return NetworkModeComparison(scenario=scenario.name, analytic=analytic, flow=flow)

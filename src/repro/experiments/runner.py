@@ -29,7 +29,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ScenarioError
 from ..parallelism.config import WorkloadConfig
 from ..parallelism.dag import DagBuildOptions, build_iteration_dag
 from ..parallelism.groups import GroupRegistry
@@ -212,7 +212,16 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
 def _execute_scenario(scenario: Scenario) -> ScenarioResult:
     # Thin top-level shim so process pools can pickle the callable and tests
     # can monkeypatch ``run_scenario``.
-    return run_scenario(scenario)
+    try:
+        return run_scenario(scenario)
+    except ScenarioError:
+        raise
+    except Exception as exc:
+        raise ScenarioError(
+            f"scenario {scenario.name!r} (backend {scenario.backend!r}, "
+            f"knobs {dict(scenario.knobs)!r}) failed: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 _SCENARIO_FIELDS = frozenset(
@@ -294,32 +303,39 @@ class ExperimentRunner:
     def run_many(self, scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
         """Run a batch of scenarios, preserving input order.
 
-        Cache hits (including duplicate configurations *within* the batch)
-        are served without simulating; the remaining unique configurations
-        are fanned out over the configured workers.
+        With memoization on, cache hits — including duplicate configurations
+        *within* the batch — are served without simulating and only the
+        unique remainder is fanned out over the configured workers.  With
+        ``memoize=False`` every scenario is simulated, duplicates included.
         """
         keys = [scenario_hash(scenario) for scenario in scenarios]
         results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
-        pending: Dict[str, Scenario] = {}
-        for index, (key, scenario) in enumerate(zip(keys, scenarios)):
-            if self.memoize and key in self._cache:
+        to_run: List[int] = []
+        first_occurrence: Dict[str, int] = {}
+        for index, key in enumerate(keys):
+            if not self.memoize:
+                to_run.append(index)
+                continue
+            if key in self._cache:
                 self.cache_hits += 1
                 results[index] = self._cache[key]
-            elif key in pending:
+            elif key in first_occurrence:
                 self.cache_hits += 1  # duplicate point inside this batch
             else:
-                pending[key] = scenario
+                first_occurrence[key] = index
+                to_run.append(index)
 
-        if pending:
-            self.cache_misses += len(pending)
-            fresh = self._execute(list(pending.values()))
-            for key, result in zip(pending, fresh):
+        if to_run:
+            self.cache_misses += len(to_run)
+            fresh = self._execute([scenarios[index] for index in to_run])
+            for index, result in zip(to_run, fresh):
+                results[index] = result
                 if self.memoize:
-                    self._cache[key] = result
-                pending[key] = result  # type: ignore[assignment]
+                    self._cache[keys[index]] = result
+            # Serve within-batch duplicates from their first occurrence.
             for index, key in enumerate(keys):
                 if results[index] is None:
-                    results[index] = pending[key]  # type: ignore[assignment]
+                    results[index] = results[first_occurrence[key]]
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 

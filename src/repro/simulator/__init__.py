@@ -5,9 +5,13 @@
   ideal network; the photonic model lives in :mod:`repro.core.network`).
 * :mod:`repro.simulator.fabric_network` — topology-backed models (fat-tree,
   rail-optimized, bare OCS) with path resolution and oversubscription.
-* :mod:`repro.simulator.executor` — list-scheduling DAG executor.
+* :mod:`repro.simulator.flow_network` — the flow-level network mode:
+  collectives expanded into point-to-point transfers that contend for links.
+* :mod:`repro.simulator.executor` — list-scheduling DAG executor (analytic
+  and flow-level network modes).
 * :mod:`repro.simulator.engine` / :mod:`repro.simulator.flows` — fluid
-  max–min fair flow simulation used for point-to-point studies.
+  max–min fair flow simulation backing the flow-level mode and
+  point-to-point studies.
 * :mod:`repro.simulator.metrics` — trace summaries (iteration time breakdowns,
   normalized iteration time for Fig. 8).
 """
@@ -20,6 +24,12 @@ from .fabric_network import (
     OCSReconfigurableNetworkModel,
     RailOptimizedNetworkModel,
     TopologyNetworkModel,
+)
+from .flow_network import (
+    FlowNetworkModel,
+    electrical_flow_network,
+    fat_tree_flow_network,
+    rail_optimized_flow_network,
 )
 from .flows import Flow, FlowSimulator, max_min_fair_rates
 from .metrics import (
@@ -45,6 +55,7 @@ __all__ = [
     "Event",
     "FatTreeNetworkModel",
     "Flow",
+    "FlowNetworkModel",
     "FlowSimulator",
     "IdealNetworkModel",
     "IterationMetrics",
@@ -54,10 +65,13 @@ __all__ = [
     "SimulationConfig",
     "SimulationEngine",
     "TopologyNetworkModel",
+    "electrical_flow_network",
+    "fat_tree_flow_network",
     "iteration_metrics",
     "max_min_fair_rates",
     "mean_iteration_time",
     "normalized_iteration_time",
     "per_rail_traffic",
+    "rail_optimized_flow_network",
     "reconfigurations_per_iteration",
 ]

@@ -31,10 +31,17 @@ class Event:
     callback: Callable[["SimulationEngine", Any], None]
     payload: Any = None
     cancelled: bool = False
+    #: Set by the owning engine so it can keep its live-event count accurate.
+    _on_cancel: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when dequeued."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._on_cancel is not None:
+                self._on_cancel()
 
 
 class SimulationEngine:
@@ -45,6 +52,10 @@ class SimulationEngine:
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._cancelled = 0
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
 
     @property
     def now(self) -> float:
@@ -58,8 +69,26 @@ class SimulationEngine:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued.
+
+        Cancelled events stay in the heap until they surface (removing them
+        eagerly would be O(n) per cancel), but they are invisible here so
+        callers checking for outstanding work are not misled.
+        """
+        self._purge_cancelled_head()
+        return len(self._queue) - self._cancelled
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when the queue is idle."""
+        self._purge_cancelled_head()
+        return self._queue[0].time if self._queue else None
+
+    def _purge_cancelled_head(self) -> None:
+        """Drop cancelled events sitting at the top of the heap."""
+        while self._queue and self._queue[0].event.cancelled:
+            heapq.heappop(self._queue)
+            self._cancelled -= 1
 
     def schedule(
         self,
@@ -72,7 +101,9 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule an event at {time} before current time {self._now}"
             )
-        event = Event(time=time, callback=callback, payload=payload)
+        event = Event(
+            time=time, callback=callback, payload=payload, _on_cancel=self._note_cancel
+        )
         heapq.heappush(self._queue, _QueueEntry(time, next(self._sequence), event))
         return event
 
@@ -92,7 +123,12 @@ class SimulationEngine:
         while self._queue:
             entry = heapq.heappop(self._queue)
             if entry.event.cancelled:
+                self._cancelled -= 1
                 continue
+            # The event leaves the queue here: a late cancel() (the common
+            # "cancel a possibly-fired timeout" pattern) must no longer touch
+            # the live-event counter.
+            entry.event._on_cancel = None
             self._now = entry.time
             entry.event.callback(self, entry.event.payload)
             self._processed += 1
@@ -106,9 +142,13 @@ class SimulationEngine:
         """
         executed = 0
         while self._queue:
-            next_time = self._queue[0].time
+            next_time = self.next_event_time
+            if next_time is None:
+                break
             if until is not None and next_time > until:
-                self._now = until
+                # The clock is monotonic: an `until` in the past must not
+                # rewind time that was already simulated.
+                self._now = max(self._now, until)
                 break
             if not self.step():
                 break

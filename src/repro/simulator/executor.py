@@ -18,6 +18,20 @@ set, which is deterministic and — given that the DAG already encodes the 1F1B
 ordering — faithful to how collectives are issued per CUDA stream in the real
 system.  Communication order per communication group follows issue order,
 which is the FIFO the paper's FC-FS control-plane policy relies on.
+
+The executor supports two kinds of network models:
+
+* **analytic** models answer ``timing()`` synchronously with a closed-form
+  alpha–beta estimate, so an operation's end is known the moment it is
+  scheduled;
+* **flow-level** models (:class:`~repro.simulator.flow_network.FlowNetworkModel`,
+  ``flow_mode = True``) expand scale-out collectives into point-to-point
+  transfers inside a shared max–min fair flow simulator, so a collective's
+  end depends on which other collectives are concurrently on the wire.  For
+  these the executor interleaves its scheduling decisions with network
+  events: a collective stays "in flight" (its ranks' NICs locked) until the
+  simulator reaches its completion, and no operation is committed at a start
+  time that network events could still precede.
 """
 
 from __future__ import annotations
@@ -34,6 +48,7 @@ from ..parallelism.trace import (
     CommRecord,
     ComputeRecord,
     IterationTrace,
+    ReconfigRecord,
     TrainingTrace,
 )
 from ..collectives.primitives import total_traffic_bytes
@@ -62,6 +77,28 @@ class SimulationConfig:
     mfu: float = 0.40
     compute_jitter: float = 0.0
     seed: int = 0
+
+
+@dataclass
+class _ScheduleState:
+    """Mutable bookkeeping shared by the two scheduling loops."""
+
+    remaining_deps: Dict[int, int]
+    dep_end: Dict[int, float]
+    successors: Dict[int, List[int]]
+    gpu_free: Dict[int, float]
+    nic_free: Dict[int, float]
+    scaleup_free: Dict[int, float]
+    ready: Set[int]
+    start_time: float
+
+    def finish(self, op_id: int, end: float) -> None:
+        """Record ``op_id``'s end and move newly-unblocked successors to ready."""
+        self.dep_end[op_id] = end
+        for successor in self.successors[op_id]:
+            self.remaining_deps[successor] -= 1
+            if self.remaining_deps[successor] == 0:
+                self.ready.add(successor)
 
 
 class DAGExecutor:
@@ -95,54 +132,25 @@ class DAGExecutor:
         self.network.on_iteration_start(iteration, start_time)
 
         operations = self.dag.operations()
-        remaining_deps: Dict[int, int] = {
-            op.op_id: len(op.deps) for op in operations
-        }
-        dep_end: Dict[int, float] = {}
-        successors: Dict[int, List[int]] = {op.op_id: [] for op in operations}
+        state = _ScheduleState(
+            remaining_deps={op.op_id: len(op.deps) for op in operations},
+            dep_end={},
+            successors={op.op_id: [] for op in operations},
+            gpu_free={},
+            nic_free={},
+            scaleup_free={},
+            ready={op.op_id for op in operations if not op.deps},
+            start_time=start_time,
+        )
         for op in operations:
             for dep in op.deps:
-                successors[dep].append(op.op_id)
-
-        gpu_free: Dict[int, float] = {}
-        nic_free: Dict[int, float] = {}
-        scaleup_free: Dict[int, float] = {}
-
-        ready: Set[int] = {
-            op.op_id for op in operations if remaining_deps[op.op_id] == 0
-        }
-        completed = 0
+                state.successors[dep].append(op.op_id)
         total = len(operations)
 
-        while ready:
-            # Pick the ready operation with the earliest feasible start time;
-            # break ties by op id (issue order).
-            best_id = None
-            best_start = None
-            for op_id in ready:
-                op = self.dag.operation(op_id)
-                candidate = self._earliest_start(
-                    op, dep_end, gpu_free, nic_free, scaleup_free, start_time
-                )
-                if best_start is None or (candidate, op_id) < (best_start, best_id):
-                    best_start = candidate
-                    best_id = op_id
-            assert best_id is not None and best_start is not None
-            ready.discard(best_id)
-            operation = self.dag.operation(best_id)
-
-            if operation.kind == OpKind.COMPUTE:
-                end = self._execute_compute(operation, best_start, gpu_free, trace)
-            else:
-                end = self._execute_comm(
-                    operation, best_start, nic_free, scaleup_free, trace
-                )
-            dep_end[best_id] = end
-            completed += 1
-            for successor in successors[best_id]:
-                remaining_deps[successor] -= 1
-                if remaining_deps[successor] == 0:
-                    ready.add(successor)
+        if getattr(self.network, "flow_mode", False):
+            completed = self._schedule_flow(state, trace)
+        else:
+            completed = self._schedule_analytic(state, trace)
 
         if completed != total:
             raise DeadlockError(
@@ -151,6 +159,137 @@ class DAGExecutor:
             )
         self.network.on_iteration_end(iteration, trace.end)
         return trace
+
+    def _schedule_analytic(self, state: "_ScheduleState", trace: IterationTrace) -> int:
+        """List scheduling against an analytic network model (synchronous ends)."""
+        completed = 0
+        ready = state.ready
+        while ready:
+            # Pick the ready operation with the earliest feasible start time;
+            # break ties by op id (issue order).
+            best_id = None
+            best_start = None
+            for op_id in ready:
+                op = self.dag.operation(op_id)
+                candidate = self._earliest_start(op, state)
+                if best_start is None or (candidate, op_id) < (best_start, best_id):
+                    best_start = candidate
+                    best_id = op_id
+            assert best_id is not None and best_start is not None
+            ready.discard(best_id)
+            operation = self.dag.operation(best_id)
+
+            if operation.kind == OpKind.COMPUTE:
+                end = self._execute_compute(operation, best_start, state.gpu_free, trace)
+            else:
+                end = self._execute_comm(operation, best_start, state, trace)
+            state.finish(operation.op_id, end)
+            completed += 1
+        return completed
+
+    def _schedule_flow(self, state: "_ScheduleState", trace: IterationTrace) -> int:
+        """Event-interleaved list scheduling against a flow-level network model.
+
+        Scale-out collectives the model can expand are injected into the
+        shared flow simulator at their start time; their completion is only
+        known once the simulator has advanced past it, because transfers
+        injected later (but starting earlier than the tentative completion)
+        reshape the max–min fair allocation.  The loop therefore interleaves
+        scheduling decisions with network events: before committing the
+        earliest-start ready operation, every network event at or before that
+        start is processed, so any collective completion that would unlock an
+        earlier (or tie-breaking lower-id) operation is observed first.
+        Compute operations and analytically-priced collectives finalize
+        immediately, exactly as in the analytic loop.
+        """
+        network = self.network
+        completed = 0
+        ready = state.ready
+        #: op_id -> (operation, start); completion pending in the simulator.
+        inflight: Dict[int, Tuple[Operation, float]] = {}
+        #: Ranks whose scale-out NIC is held by an in-flight collective.
+        locked: Set[int] = set()
+        #: (op_id, end) pairs appended by collective-completion callbacks.
+        finished: List[Tuple[int, float]] = []
+
+        def finalize() -> None:
+            nonlocal completed
+            while finished:
+                op_id, end = finished.pop(0)
+                operation, begin = inflight.pop(op_id)
+                for rank in operation.ranks:
+                    state.nic_free[rank] = end
+                    locked.discard(rank)
+                self._record_comm(operation, begin, end, (), trace)
+                self.network.on_comm_end(operation, end)
+                state.finish(op_id, end)
+                completed += 1
+
+        while ready or inflight:
+            finalize()
+            best_id = None
+            best_start = None
+            for op_id in ready:
+                op = self.dag.operation(op_id)
+                if (
+                    op.kind != OpKind.COMPUTE
+                    and self.network.is_scaleout(op)
+                    and any(rank in locked for rank in op.ranks)
+                ):
+                    continue  # NIC held by an in-flight collective; end unknown
+                candidate = self._earliest_start(op, state)
+                if best_start is None or (candidate, op_id) < (best_start, best_id):
+                    best_start = candidate
+                    best_id = op_id
+
+            next_event = network.next_event_time
+            if best_id is None:
+                if not inflight:
+                    break  # nothing runnable: let the caller report the deadlock
+                if next_event is None:
+                    raise SimulationError(
+                        "flow-level network is idle while collectives are "
+                        "still in flight; flows can never complete"
+                    )
+                # Everything runnable is blocked on in-flight collectives:
+                # drain network events until one of them actually finishes.
+                while not finished and network.next_event_time is not None:
+                    network.advance()
+                continue
+            if next_event is not None and next_event <= best_start:
+                # Network events precede (or tie) the candidate start; their
+                # completions may unlock an earlier-starting operation.  Drain
+                # them in a burst — flow starts and intermediate completion
+                # checks change no scheduling input, so rescanning the ready
+                # set is only needed once a collective actually finishes.
+                while not finished:
+                    next_event = network.next_event_time
+                    if next_event is None or next_event > best_start:
+                        break
+                    network.advance()
+                continue
+
+            assert best_start is not None
+            ready.discard(best_id)
+            operation = self.dag.operation(best_id)
+            if operation.kind == OpKind.COMPUTE:
+                end = self._execute_compute(operation, best_start, state.gpu_free, trace)
+                state.finish(best_id, end)
+                completed += 1
+            elif network.can_expand(operation):
+                locked.update(operation.ranks)
+                inflight[best_id] = (operation, best_start)
+                network.begin_comm(
+                    operation,
+                    best_start,
+                    lambda end, op_id=best_id: finished.append((op_id, end)),
+                )
+            else:
+                end = self._execute_comm(operation, best_start, state, trace)
+                state.finish(best_id, end)
+                completed += 1
+        finalize()
+        return completed
 
     def run_training(self, num_iterations: int, start_time: float = 0.0) -> TrainingTrace:
         """Simulate ``num_iterations`` back-to-back iterations.
@@ -174,23 +313,20 @@ class DAGExecutor:
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _earliest_start(
-        self,
-        operation: Operation,
-        dep_end: Dict[int, float],
-        gpu_free: Dict[int, float],
-        nic_free: Dict[int, float],
-        scaleup_free: Dict[int, float],
-        start_time: float,
-    ) -> float:
+    def _earliest_start(self, operation: Operation, state: "_ScheduleState") -> float:
+        start_time = state.start_time
         ready = start_time
         for dep in operation.deps:
-            ready = max(ready, dep_end[dep])
+            ready = max(ready, state.dep_end[dep])
         if operation.kind == OpKind.COMPUTE:
             for rank in operation.ranks:
-                ready = max(ready, gpu_free.get(rank, start_time))
+                ready = max(ready, state.gpu_free.get(rank, start_time))
         else:
-            resource = nic_free if self.network.is_scaleout(operation) else scaleup_free
+            resource = (
+                state.nic_free
+                if self.network.is_scaleout(operation)
+                else state.scaleup_free
+            )
             for rank in operation.ranks:
                 ready = max(ready, resource.get(rank, start_time))
         return ready
@@ -228,16 +364,29 @@ class DAGExecutor:
         self,
         operation: Operation,
         ready_time: float,
-        nic_free: Dict[int, float],
-        scaleup_free: Dict[int, float],
+        state: "_ScheduleState",
         trace: IterationTrace,
     ) -> float:
         assert operation.collective is not None
         timing: CommTiming = self.network.timing(operation, ready_time)
         scaleout = self.network.is_scaleout(operation)
-        resource = nic_free if scaleout else scaleup_free
+        resource = state.nic_free if scaleout else state.scaleup_free
         for rank in operation.ranks:
             resource[rank] = timing.end
+        self._record_comm(operation, timing.start, timing.end, timing.reconfigs, trace)
+        self.network.on_comm_end(operation, timing.end)
+        return timing.end
+
+    def _record_comm(
+        self,
+        operation: Operation,
+        start: float,
+        end: float,
+        reconfigs: Tuple[ReconfigRecord, ...],
+        trace: IterationTrace,
+    ) -> None:
+        assert operation.collective is not None
+        scaleout = self.network.is_scaleout(operation)
         rails: Tuple[int, ...] = ()
         if self.mesh.cluster is not None and scaleout:
             rails = self.mesh.rails_of_group(operation.collective.group)
@@ -250,13 +399,11 @@ class DAGExecutor:
                 rails=rails,
                 size_bytes=operation.collective.size_bytes,
                 total_bytes=total_traffic_bytes(operation.collective),
-                start=timing.start,
-                end=timing.end,
+                start=start,
+                end=end,
                 phase=operation.phase,
                 tag=operation.tag,
                 scaleout=scaleout,
             )
         )
-        trace.reconfig_records.extend(timing.reconfigs)
-        self.network.on_comm_end(operation, timing.end)
-        return timing.end
+        trace.reconfig_records.extend(reconfigs)

@@ -128,8 +128,16 @@ class FatTreeNetworkModel(TopologyNetworkModel):
         cluster: ClusterSpec,
         mesh: DeviceMesh,
         fabric: Optional[FatTreeFabric] = None,
+        oversubscription: float = 1.0,
     ) -> None:
-        fabric = fabric or build_fat_tree_fabric(cluster)
+        if fabric is not None and oversubscription != 1.0:
+            raise ConfigurationError(
+                "pass either a prebuilt fabric or an oversubscription factor; "
+                "a provided fabric's link capacities are used as-is"
+            )
+        fabric = fabric or build_fat_tree_fabric(
+            cluster, oversubscription=oversubscription
+        )
         if fabric.cluster != cluster:
             raise ConfigurationError(
                 "the fat-tree fabric must be built from the same cluster "

@@ -1,0 +1,249 @@
+"""Flow-level network mode: collectives expanded into contending fluid flows.
+
+The analytic models in :mod:`repro.simulator.network` and
+:mod:`repro.simulator.fabric_network` price every collective independently
+with an alpha–beta formula.  That is exact while collectives never share
+fabric links, but it cannot see *cross-collective* contention: two
+communication groups whose routes cross the same oversubscribed uplink are
+each priced as if they owned it.
+
+:class:`FlowNetworkModel` closes that gap.  Every scale-out collective is
+expanded — via :func:`repro.collectives.schedule.expand` — into
+barrier-synchronized steps of point-to-point transfers; each transfer is
+routed over the topology graph with :meth:`~repro.topology.base.Topology.shortest_path`
+and handed to the max–min fair :class:`~repro.simulator.flows.FlowSimulator`.
+Transfers of *all* in-flight collectives share one simulator, so concurrent
+collectives genuinely contend for link capacity instead of being priced
+independently.  The DAG executor drives this model through the
+``begin_comm`` / ``next_event_time`` / ``advance`` interface (see
+:class:`~repro.simulator.executor.DAGExecutor`); ``timing`` remains the
+analytic fallback used for scale-up collectives and for collective types
+without a point-to-point expansion.
+
+On contention-free workloads the two modes agree: a lone ring collective's
+per-step flows each get the bottleneck bandwidth the analytic model divides
+out statically, and the per-step launch overhead mirrors the alpha term.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..collectives.primitives import CollectiveType
+from ..collectives.schedule import Schedule, expand
+from ..errors import SimulationError
+from ..parallelism.dag import Operation
+from ..parallelism.mesh import DeviceMesh
+from ..topology.base import Link, Topology, gpu_node_name
+from ..topology.devices import ClusterSpec
+from ..topology.electrical import build_fully_connected_rail_topology
+from ..topology.fattree import build_fat_tree_fabric
+from ..topology.railopt import build_rail_optimized_fabric
+from .fabric_network import TopologyNetworkModel
+from .flows import Flow, FlowSimulator
+
+#: Called with the completion time when an expanded collective finishes.
+CompletionCallback = Callable[[float], None]
+
+#: Collective types with a point-to-point expansion whose total wire traffic
+#: matches the analytic ring/pairwise accounting.  Broadcast and Reduce ride
+#: the analytic fallback (their ring schedules forward the full payload every
+#: hop, which the alpha-beta model deliberately does not charge), and Barrier
+#: is latency-only.
+EXPANDABLE_COLLECTIVES = frozenset(
+    {
+        CollectiveType.ALL_REDUCE,
+        CollectiveType.ALL_GATHER,
+        CollectiveType.REDUCE_SCATTER,
+        CollectiveType.ALL_TO_ALL,
+        CollectiveType.SEND_RECV,
+    }
+)
+
+
+class _InFlightCollective:
+    """Progress tracker for one collective expanded into per-step flows.
+
+    Launches one step at a time: when the last flow of step ``k`` completes,
+    step ``k+1`` is injected after the per-step software overhead (the alpha
+    term's launch cost).  When the final step drains, the owner's completion
+    callback fires with the collective's end time.
+    """
+
+    def __init__(
+        self,
+        model: "FlowNetworkModel",
+        steps: Schedule,
+        on_complete: CompletionCallback,
+    ) -> None:
+        self._model = model
+        self._steps = steps
+        self._on_complete = on_complete
+        self._step_index = -1
+        self._outstanding = 0
+        self._step_end = 0.0
+
+    def launch(self, start_time: float) -> None:
+        """Inject the first step; completes immediately for empty schedules."""
+        self._step_end = start_time
+        self._advance(start_time)
+
+    def _advance(self, ready_time: float) -> None:
+        self._step_index += 1
+        if self._step_index >= len(self._steps):
+            self._on_complete(self._step_end)
+            return
+        transfers = self._steps[self._step_index].transfers
+        self._outstanding = len(transfers)
+        launch_at = ready_time + self._model.per_step_overhead
+        for transfer in transfers:
+            path = self._model.path_between(transfer.src, transfer.dst)
+            self._model.simulator.add_flow(
+                path,
+                transfer.size_bytes,
+                start_time=launch_at,
+                on_complete=self._flow_done,
+            )
+
+    def _flow_done(self, flow: Flow) -> None:
+        self._outstanding -= 1
+        assert flow.finish_time is not None
+        if flow.finish_time > self._step_end:
+            self._step_end = flow.finish_time
+        if self._outstanding == 0:
+            self._advance(self._step_end)
+
+
+class FlowNetworkModel(TopologyNetworkModel):
+    """Topology-routed network model timed by max–min fair flow simulation.
+
+    Inherits the analytic path resolution of :class:`TopologyNetworkModel`
+    (used by :meth:`timing` as the fallback for scale-up collectives and
+    non-expandable collective types) and adds the flow-mode interface the
+    executor drives:
+
+    * :meth:`can_expand` — whether an operation is simulated at flow level;
+    * :meth:`begin_comm` — inject a collective's step schedule at its start
+      time and register a completion callback;
+    * :attr:`next_event_time` / :meth:`advance` — expose the shared flow
+      simulator's event clock so the executor can interleave scheduling
+      decisions with network progress.
+    """
+
+    #: Marks this model as driving the executor's flow-mode scheduling loop.
+    flow_mode = True
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        mesh: DeviceMesh,
+        topology: Topology,
+    ) -> None:
+        super().__init__(cluster, mesh, topology)
+        self.simulator = FlowSimulator()
+        #: Per-step software launch overhead, matching the analytic alpha term.
+        self.per_step_overhead = self._scaleout_link.per_message_overhead
+        self._pair_paths: Dict[Tuple[int, int], Tuple[Link, ...]] = {}
+        #: Expanded step schedules keyed by collective op id — the DAG reuses
+        #: the same CollectiveOp across iterations, and expand() is pure.
+        self._schedules: Dict[int, Schedule] = {}
+
+    # ------------------------------------------------------------------ #
+    # Flow-mode interface
+    # ------------------------------------------------------------------ #
+
+    def on_iteration_start(self, iteration: int, time: float) -> None:
+        """Reset the simulator clock when a fresh run rewinds simulated time.
+
+        Within one training run iterations start monotonically later, but a
+        reused model (a second ``run_training``, or a second executor sharing
+        the model) restarts at an earlier time than the previous run's end —
+        which the event engine would reject.  Between iterations every
+        collective has drained, so swapping in a fresh simulator is safe.
+        """
+        if time < self.simulator.engine.now:
+            if self.simulator.active_flows or self.simulator.engine.pending:
+                raise SimulationError(
+                    "cannot rewind the flow simulator while flows are in flight"
+                )
+            self.simulator = FlowSimulator()
+
+    def can_expand(self, operation: Operation) -> bool:
+        """Whether ``operation`` is expanded into flows (vs priced analytically)."""
+        assert operation.collective is not None
+        return (
+            self.is_scaleout(operation)
+            and operation.collective.collective in EXPANDABLE_COLLECTIVES
+        )
+
+    def path_between(self, src_rank: int, dst_rank: int) -> Tuple[Link, ...]:
+        """Route between two ranks' GPUs (cached; includes scale-up hops)."""
+        key = (src_rank, dst_rank)
+        path = self._pair_paths.get(key)
+        if path is None:
+            path = tuple(
+                self.topology.shortest_path(
+                    gpu_node_name(self.mesh.gpu_of(src_rank)),
+                    gpu_node_name(self.mesh.gpu_of(dst_rank)),
+                )
+            )
+            self._pair_paths[key] = path
+        return path
+
+    def begin_comm(
+        self,
+        operation: Operation,
+        start_time: float,
+        on_complete: CompletionCallback,
+    ) -> None:
+        """Inject ``operation``'s step schedule starting at ``start_time``.
+
+        ``on_complete`` fires (possibly synchronously for degenerate empty
+        schedules) with the collective's completion time once its last step
+        drains.
+        """
+        assert operation.collective is not None
+        steps = self._schedules.get(operation.collective.op_id)
+        if steps is None:
+            steps = expand(operation.collective)
+            self._schedules[operation.collective.op_id] = steps
+        _InFlightCollective(self, steps, on_complete).launch(start_time)
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Time of the network's next event, or ``None`` when idle."""
+        return self.simulator.engine.next_event_time
+
+    def advance(self) -> bool:
+        """Process one network event; returns ``False`` when idle."""
+        return self.simulator.engine.step()
+
+
+# --------------------------------------------------------------------------- #
+# Per-fabric constructors
+# --------------------------------------------------------------------------- #
+
+
+def electrical_flow_network(
+    cluster: ClusterSpec, mesh: DeviceMesh
+) -> FlowNetworkModel:
+    """Flow-level twin of the fully-connected electrical rail baseline."""
+    return FlowNetworkModel(
+        cluster, mesh, build_fully_connected_rail_topology(cluster)
+    )
+
+
+def fat_tree_flow_network(
+    cluster: ClusterSpec, mesh: DeviceMesh, oversubscription: float = 1.0
+) -> FlowNetworkModel:
+    """Flow-level twin of the fat-tree fabric (optionally oversubscribed)."""
+    fabric = build_fat_tree_fabric(cluster, oversubscription=oversubscription)
+    return FlowNetworkModel(cluster, mesh, fabric.topology)
+
+
+def rail_optimized_flow_network(
+    cluster: ClusterSpec, mesh: DeviceMesh, always_spine: bool = True
+) -> FlowNetworkModel:
+    """Flow-level twin of the leaf/spine rail-optimized fabric."""
+    fabric = build_rail_optimized_fabric(cluster, always_spine=always_spine)
+    return FlowNetworkModel(cluster, mesh, fabric.topology)

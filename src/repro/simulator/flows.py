@@ -8,10 +8,13 @@ the usual fluid approximation used by datacenter-fabric studies, including the
 ones the paper builds on (TopoOpt, Rail-only): no packets, no transport
 dynamics, just capacity sharing.
 
-The DAG executor uses this engine when run in ``"flow"`` network mode (every
-collective expanded into per-step point-to-point transfers); the analytic mode
-bypasses it.  The engine is also usable standalone for micro-studies such as
-incast on a shared rail switch versus dedicated circuits.
+The DAG executor uses this engine when run with a flow-level network model
+(:class:`~repro.simulator.flow_network.FlowNetworkModel`, selected with the
+``network_mode="flow"`` backend knob): every scale-out collective is expanded
+into per-step point-to-point transfers that share one simulator, so
+concurrent collectives contend for link capacity.  The analytic mode bypasses
+it.  The engine is also usable standalone for micro-studies such as incast on
+a shared rail switch versus dedicated circuits.
 """
 
 from __future__ import annotations
@@ -27,8 +30,6 @@ from .engine import SimulationEngine
 
 #: Tolerance used when deciding whether a flow has finished transferring.
 _BYTES_EPSILON = 1e-6
-#: Tolerance for time comparisons.
-_TIME_EPSILON = 1e-12
 
 
 @dataclass
@@ -92,7 +93,11 @@ def max_min_fair_rates(
         Mapping of ``flow_id`` to allocated rate in bytes/second.
     """
     remaining_capacity: Dict[Tuple[str, str, int], float] = {}
+    # Per-link set of *still-unallocated* flows; flows are removed as they
+    # freeze, so each (flow, link) pair is touched O(1) times overall instead
+    # of being re-intersected against the unallocated set every round.
     link_flows: Dict[Tuple[str, str, int], Set[int]] = {}
+    flow_by_id: Dict[int, Flow] = {flow.flow_id: flow for flow in flows}
     for flow in flows:
         for link in flow.path:
             key = link.key
@@ -105,48 +110,54 @@ def max_min_fair_rates(
             link_flows[key].add(flow.flow_id)
 
     rates: Dict[int, float] = {}
-    unallocated: Set[int] = set()
+    num_unallocated = 0
     for flow in flows:
         if not flow.path:
             rates[flow.flow_id] = math.inf
         else:
-            unallocated.add(flow.flow_id)
+            num_unallocated += 1
 
-    while unallocated:
+    while num_unallocated:
         # Find the most constrained link: smallest fair share among its
         # still-unallocated flows.
         best_share = None
         for key, users in link_flows.items():
-            active_users = users & unallocated
-            if not active_users:
+            if not users:
                 continue
-            share = remaining_capacity[key] / len(active_users)
+            share = remaining_capacity[key] / len(users)
             if best_share is None or share < best_share:
                 best_share = share
         if best_share is None:
             # Remaining flows traverse only links with no capacity constraint.
-            for flow_id in unallocated:
-                rates[flow_id] = math.inf
+            for flow in flows:
+                if flow.flow_id not in rates:
+                    rates[flow.flow_id] = math.inf
             break
         # Freeze every flow crossing a link whose fair share equals the bottleneck.
         frozen: Set[int] = set()
         for key, users in link_flows.items():
-            active_users = users & unallocated
-            if not active_users:
+            if not users:
                 continue
-            share = remaining_capacity[key] / len(active_users)
+            share = remaining_capacity[key] / len(users)
             if share <= best_share * (1 + 1e-12):
-                frozen.update(active_users)
+                frozen.update(users)
+        # Subtract the frozen flows' rates from every link they traverse and
+        # drop them from the per-link user sets (incremental bookkeeping);
+        # links whose last user froze are retired from the scan entirely.
         for flow_id in frozen:
             rates[flow_id] = best_share
-        # Subtract the frozen flows' rates from every link they traverse.
-        flow_by_id = {flow.flow_id: flow for flow in flows}
-        for flow_id in frozen:
             for link in flow_by_id[flow_id].path:
-                remaining_capacity[link.key] = max(
-                    0.0, remaining_capacity[link.key] - best_share
+                key = link.key
+                users = link_flows.get(key)
+                if users is None:
+                    continue  # retired in an earlier round; never read again
+                remaining_capacity[key] = max(
+                    0.0, remaining_capacity[key] - best_share
                 )
-        unallocated -= frozen
+                users.discard(flow_id)
+                if not users:
+                    del link_flows[key]
+        num_unallocated -= len(frozen)
     return rates
 
 
@@ -168,6 +179,11 @@ class FlowSimulator:
         self._completion_callbacks: Dict[int, Callable[[Flow], None]] = {}
         self._completion_event = None
         self._last_update = 0.0
+        #: Outstanding flow-start events per exact start time, so arrival
+        #: batches at one instant trigger a single reallocation.  Counting our
+        #: own events (instead of peeking at the engine queue) keeps this
+        #: correct when the engine is shared with other event sources.
+        self._starts_at: Dict[float, int] = {}
 
     # ------------------------------------------------------------------ #
     # Flow management
@@ -191,12 +207,18 @@ class FlowSimulator:
         if on_complete is not None:
             self._completion_callbacks[flow.flow_id] = on_complete
         self.engine.schedule(start_time, self._on_flow_start, flow.flow_id)
+        self._starts_at[start_time] = self._starts_at.get(start_time, 0) + 1
         return flow
 
     def flow(self, flow_id: int) -> Flow:
-        """Return the flow with id ``flow_id``."""
+        """Return the pending or active flow with id ``flow_id``.
+
+        Completed flows are dropped from the simulator's bookkeeping (callers
+        hold the :class:`Flow` returned by :meth:`add_flow` or receive it in
+        their completion callback), so looking one up here raises.
+        """
         if flow_id not in self._flows:
-            raise SimulationError(f"unknown flow id {flow_id}")
+            raise SimulationError(f"unknown (or already completed) flow id {flow_id}")
         return self._flows[flow_id]
 
     @property
@@ -209,21 +231,54 @@ class FlowSimulator:
     # ------------------------------------------------------------------ #
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until all flows complete (or ``until``); returns the stop time."""
-        return self.engine.run(until=until)
+        """Run until all flows complete (or ``until``); returns the stop time.
+
+        Raises
+        ------
+        SimulationError
+            If the event queue drains while flows are still active.  This
+            happens when a flow is allocated rate 0 forever — e.g. its path
+            crosses a link whose capacity was overridden to 0 — so it would
+            otherwise never complete and ``run`` would silently return with
+            unfinished flows.
+        """
+        stop = self.engine.run(until=until)
+        if self._active and self.engine.pending == 0:
+            stalled = ", ".join(
+                f"flow {fid} (rate {self._flows[fid].rate:g} B/s, "
+                f"{self._flows[fid].remaining_bytes:g} B left)"
+                for fid in sorted(self._active)
+            )
+            raise SimulationError(
+                f"simulation stalled at t={stop:g}s with active flows that can "
+                f"never complete: {stalled}; check for zero-capacity links"
+            )
+        return stop
 
     def _on_flow_start(self, engine: SimulationEngine, flow_id: int) -> None:
-        self._advance_progress(engine.now)
+        now = engine.now
+        siblings = self._starts_at.get(now, 0) - 1
+        if siblings > 0:
+            self._starts_at[now] = siblings
+        else:
+            self._starts_at.pop(now, None)
+        self._advance_progress(now)
         flow = self._flows[flow_id]
         if flow.size_bytes <= _BYTES_EPSILON:
-            self._complete_flow(flow, engine.now + flow.latency)
+            self._complete_flow(flow, now + flow.latency)
         else:
             self._active.add(flow_id)
-        self._reallocate(engine.now)
+        if siblings > 0:
+            # More of our own arrivals at this same instant (e.g. the sibling
+            # transfers of one collective step): the last of them reallocates
+            # once for the whole batch.  No time passes in between, so no
+            # progress is computed from the stale rates.
+            return
+        self._reallocate(now)
 
     def _advance_progress(self, now: float) -> None:
         elapsed = now - self._last_update
-        if elapsed > _TIME_EPSILON:
+        if elapsed > 0.0:
             for flow_id in self._active:
                 flow = self._flows[flow_id]
                 if math.isinf(flow.rate):
@@ -266,17 +321,42 @@ class FlowSimulator:
         finished = [
             self._flows[fid]
             for fid in sorted(self._active)
-            if self._flows[fid].remaining_bytes <= _BYTES_EPSILON
+            if self._flow_is_drained(self._flows[fid], engine.now)
         ]
         for flow in finished:
             self._active.discard(flow.flow_id)
             self._complete_flow(flow, engine.now + flow.latency)
         self._reallocate(engine.now)
 
+    @staticmethod
+    def _flow_is_drained(flow: Flow, now: float) -> bool:
+        """Whether ``flow`` counts as finished at ``now``.
+
+        Besides the byte tolerance, a flow whose residual drain time is below
+        the floating-point resolution of the clock (``now + time_left == now``)
+        must complete *now*: no representable future event could ever drain
+        it, and rescheduling a completion check at the same instant would spin
+        the engine forever.  Infinite-rate flows (empty paths, unconstrained
+        routes) drain instantly by definition — ``_advance_progress`` only
+        zeroes them when time actually elapses, which it never does for a
+        same-instant completion check.
+        """
+        if flow.remaining_bytes <= _BYTES_EPSILON:
+            return True
+        if math.isinf(flow.rate):
+            return True
+        if flow.rate > 0:
+            return now + flow.remaining_bytes / flow.rate <= now
+        return False
+
     def _complete_flow(self, flow: Flow, finish_time: float) -> None:
         flow.finish_time = finish_time
         flow.remaining_bytes = 0.0
         flow.rate = 0.0
+        # Drop the flow from the simulator's bookkeeping: a long-lived
+        # simulator (one per FlowNetworkModel) would otherwise accumulate
+        # every completed flow of every iteration forever.
+        self._flows.pop(flow.flow_id, None)
         callback = self._completion_callbacks.pop(flow.flow_id, None)
         if callback is not None:
             callback(flow)

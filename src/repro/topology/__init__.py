@@ -8,6 +8,8 @@ The subpackage provides everything below the control plane:
 * :mod:`repro.topology.base` — the generic topology graph.
 * :mod:`repro.topology.scaleup` — scale-up (NVLink/NVSwitch) domains.
 * :mod:`repro.topology.railopt` — the electrical rail-optimized baseline.
+* :mod:`repro.topology.electrical` — fully-connected rail graph backing the
+  electrical backend's flow-level network mode.
 * :mod:`repro.topology.fattree` — the fat-tree baseline.
 * :mod:`repro.topology.photonic` — the proposed photonic rail fabric.
 * :mod:`repro.topology.ocs` — the OCS crossbar / circuit state machine.
@@ -40,6 +42,7 @@ from .devices import (
     dgx_h200_cluster,
     perlmutter_testbed,
 )
+from .electrical import build_fully_connected_rail_topology
 from .fattree import FatTreeFabric, build_fat_tree_fabric, fat_tree_inventory
 from .nic import NICAllocation, PortAssignment, allocate_ports, ports_required
 from .ocs import Circuit, CircuitConfiguration, EMPTY_CONFIGURATION, OpticalCircuitSwitch
@@ -99,6 +102,7 @@ __all__ = [
     "TransceiverSpec",
     "allocate_ports",
     "build_fat_tree_fabric",
+    "build_fully_connected_rail_topology",
     "build_photonic_rail_fabric",
     "build_rail_optimized_fabric",
     "build_scaleup_only_topology",

@@ -1,0 +1,64 @@
+"""Fully-connected electrical rail topology for the flow-level network mode.
+
+The analytic :class:`~repro.simulator.network.ElectricalRailNetworkModel`
+prices every scale-out collective at the NIC port line rate — full rail
+connectivity with no internal oversubscription.  The flow-level network mode
+needs an explicit link graph to route transfers over, so this builder
+materializes the same assumption as a topology:
+
+* every GPU attaches through an explicit NIC node to one non-blocking
+  crossbar; both the host link and the NIC uplink run at the scale-out port
+  bandwidth, so a GPU's injection rate is the only capacity constraint —
+  exactly as in the analytic model;
+* the crossbar is a *node*, not a set of shared links, so transfers between
+  different GPU pairs never contend — full any-to-any connectivity at line
+  rate.
+
+The explicit NIC tier matters for routing: a min-hop path can never shortcut
+through another GPU's NIC and NVLink (such a detour is strictly longer than
+the 4-hop fabric route), and intra-domain pairs keep their strictly shorter
+2-hop NVLink route.  Link latencies are chosen so every fabric path sums to
+the 2 microseconds the analytic model charges per hop, keeping the flow and
+analytic modes in agreement on contention-free workloads.
+"""
+
+from __future__ import annotations
+
+from .base import LinkKind, NodeKind, Topology, gpu_node_name, nic_port_node_name
+from .devices import ClusterSpec
+from .scaleup import add_scaleup_domains
+
+#: Per-link latency: a fabric path is gpu -> nic -> crossbar -> nic -> gpu,
+#: so four links sum to the analytic model's 2 microsecond scale-out latency.
+_LINK_LATENCY = 0.5e-6
+
+#: Canonical node name of the non-blocking crossbar all NICs attach to.
+CROSSBAR_NODE_NAME = "electrical.xbar"
+
+
+def build_fully_connected_rail_topology(cluster: ClusterSpec) -> Topology:
+    """Build the fully-provisioned electrical rail graph for ``cluster``."""
+    topology = Topology(name=f"electrical-rails[{cluster.num_gpus}]")
+    add_scaleup_domains(topology, cluster)
+    topology.add_node(CROSSBAR_NODE_NAME, NodeKind.ELECTRICAL_SWITCH, tier="xbar")
+    port_bandwidth = cluster.scaleout_port_bandwidth
+    for gpu_id in range(cluster.num_gpus):
+        nic = nic_port_node_name(gpu_id, 0)
+        topology.add_node(
+            nic, NodeKind.NIC_PORT, gpu_id=gpu_id, port=0, rail=cluster.rail_of(gpu_id)
+        )
+        topology.add_bidirectional_link(
+            gpu_node_name(gpu_id),
+            nic,
+            bandwidth=port_bandwidth,
+            latency=_LINK_LATENCY,
+            kind=LinkKind.HOST,
+        )
+        topology.add_bidirectional_link(
+            nic,
+            CROSSBAR_NODE_NAME,
+            bandwidth=port_bandwidth,
+            latency=_LINK_LATENCY,
+            kind=LinkKind.ELECTRICAL,
+        )
+    return topology

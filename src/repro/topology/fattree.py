@@ -69,32 +69,61 @@ def _fattree_counts(num_endpoints: int, radix: int) -> tuple:
     return edge, agg, core, edge_agg_links, agg_core_links
 
 
-def fat_tree_inventory(cluster: ClusterSpec) -> FabricInventory:
-    """Closed-form fat-tree bill of materials for the Fig. 7 sweeps."""
-    radix = cluster.electrical_switch.radix
-    ports_per_gpu = cluster.nic_port_config.num_ports
-    num_endpoints = cluster.num_gpus * ports_per_gpu
+def _fattree_bill_of_materials(
+    num_endpoints: int, radix: int, oversubscription: float
+) -> FabricInventory:
+    """Shared inventory counting for the builder and the closed form.
+
+    An oversubscribed tree provisions proportionally fewer uplink fibers
+    (that is where the cost saving comes from).
+    """
+    if oversubscription < 1.0:
+        raise TopologyError("oversubscription must be >= 1")
+    uplink_scale = 1.0 / oversubscription
     edge, agg, core, edge_agg_links, agg_core_links = _fattree_counts(
         num_endpoints, radix
     )
     host_links = num_endpoints
-    inter_switch_links = edge_agg_links + agg_core_links
-    transceivers = 2 * host_links + 2 * inter_switch_links
+    inter_switch_links = math.ceil(edge_agg_links * uplink_scale) + math.ceil(
+        agg_core_links * uplink_scale
+    )
     return FabricInventory(
         electrical_switches=edge + agg + core,
         ocs_ports=0,
-        transceivers=transceivers,
+        transceivers=2 * host_links + 2 * inter_switch_links,
         links=host_links + inter_switch_links,
     )
 
 
-def build_fat_tree_fabric(cluster: ClusterSpec) -> FatTreeFabric:
+def fat_tree_inventory(
+    cluster: ClusterSpec, oversubscription: float = 1.0
+) -> FabricInventory:
+    """Closed-form fat-tree bill of materials for the Fig. 7 sweeps."""
+    return _fattree_bill_of_materials(
+        cluster.num_gpus * cluster.nic_port_config.num_ports,
+        cluster.electrical_switch.radix,
+        oversubscription,
+    )
+
+
+def build_fat_tree_fabric(
+    cluster: ClusterSpec, oversubscription: float = 1.0
+) -> FatTreeFabric:
     """Build the fat-tree topology graph for ``cluster``.
 
     The graph aggregates parallel uplinks between a pair of switches into a
     single fat link (bandwidth scaled accordingly) to keep the multigraph
     small; the inventory still counts individual fibers and transceivers.
+
+    ``oversubscription`` divides the inter-switch (edge–aggregation and
+    aggregation–core) bandwidth, modeling the classic cost-reduced Clos where
+    the host tier keeps its line rate but the upper tiers are provisioned at
+    ``1:oversubscription`` — with proportionally fewer uplink fibers and
+    transceivers in the inventory.  The default 1.0 keeps full bisection.
     """
+    if oversubscription < 1.0:
+        raise TopologyError("oversubscription must be >= 1")
+    uplink_scale = 1.0 / oversubscription
     radix = cluster.electrical_switch.radix
     port_bandwidth = cluster.nic_port_config.port_bandwidth
     switch_port_bw = cluster.electrical_switch.port_bandwidth
@@ -155,7 +184,7 @@ def build_fat_tree_fabric(cluster: ClusterSpec) -> FatTreeFabric:
             topology.add_bidirectional_link(
                 switch_node_name("edge", edge_index),
                 switch_node_name("agg", agg_index),
-                bandwidth=switch_port_bw * per_agg_fibers,
+                bandwidth=switch_port_bw * per_agg_fibers * uplink_scale,
                 latency=_switch_latency(),
                 kind=LinkKind.ELECTRICAL,
             )
@@ -168,19 +197,12 @@ def build_fat_tree_fabric(cluster: ClusterSpec) -> FatTreeFabric:
                 topology.add_bidirectional_link(
                     switch_node_name("agg", agg_index),
                     switch_node_name("core", core_index),
-                    bandwidth=switch_port_bw * per_core_fibers,
+                    bandwidth=switch_port_bw * per_core_fibers * uplink_scale,
                     latency=_switch_latency(),
                     kind=LinkKind.ELECTRICAL,
                 )
 
-    host_links = num_endpoints
-    inter_switch_links = edge_agg_links + agg_core_links
-    inventory = FabricInventory(
-        electrical_switches=edge + agg + core,
-        ocs_ports=0,
-        transceivers=2 * host_links + 2 * inter_switch_links,
-        links=host_links + inter_switch_links,
-    )
+    inventory = _fattree_bill_of_materials(num_endpoints, radix, oversubscription)
     return FatTreeFabric(
         cluster=cluster,
         topology=topology,

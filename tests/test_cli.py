@@ -91,6 +91,52 @@ def test_run_subcommand_works_on_every_backend(backend, capsys):
     assert payload["metrics"]["mean_iteration_time"] > 0
 
 
+@pytest.mark.parametrize("backend", ["electrical", "fattree", "railopt"])
+def test_run_subcommand_accepts_the_flow_network_mode(backend, capsys):
+    code = main(
+        [
+            "run",
+            "--backend",
+            backend,
+            "--network-mode",
+            "flow",
+            "--workload",
+            "tiny",
+            "--cluster",
+            "perlmutter:2",
+            "--iterations",
+            "1",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["knobs"]["network_mode"] == "flow"
+    assert payload["metrics"]["mean_iteration_time"] > 0
+
+
+def test_sweep_subcommand_accepts_a_network_mode_grid(capsys):
+    code = main(
+        [
+            "sweep",
+            "--backend",
+            "electrical",
+            "--workload",
+            "tiny",
+            "--cluster",
+            "perlmutter:2",
+            "--iterations",
+            "1",
+            "--grid",
+            "network_mode=analytic,flow",
+            "--executor",
+            "serial",
+        ]
+    )
+    assert code == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert [row["knobs"]["network_mode"] for row in rows] == ["analytic", "flow"]
+
+
 def test_run_subcommand_rejects_unknown_backend(capsys):
     assert main(["run", "--backend", "carrier-pigeon"]) == 2
     assert "unknown backend" in capsys.readouterr().err

@@ -39,6 +39,49 @@ def test_cancelled_events_are_skipped():
     assert keep.cancelled is False
 
 
+def test_pending_excludes_cancelled_events():
+    engine = SimulationEngine()
+    keep = engine.schedule(1.0, lambda _e, _p: None)
+    drop_head = engine.schedule(0.5, lambda _e, _p: None)
+    drop_tail = engine.schedule(2.0, lambda _e, _p: None)
+    assert engine.pending == 3
+    drop_tail.cancel()
+    assert engine.pending == 2
+    drop_head.cancel()
+    assert engine.pending == 1
+    # Double-cancel must not corrupt the live-event count.
+    drop_head.cancel()
+    assert engine.pending == 1
+    keep.cancel()
+    assert engine.pending == 0
+    engine.run()
+    assert engine.events_processed == 0
+
+
+def test_cancelling_an_already_executed_event_leaves_pending_intact():
+    engine = SimulationEngine()
+    fired = engine.schedule(1.0, lambda _e, _p: None)
+    engine.schedule(2.0, lambda _e, _p: None)
+    engine.step()
+    # The "cancel a possibly-fired timeout" pattern: a late cancel of an
+    # event that already ran must not corrupt the live-event count.
+    fired.cancel()
+    assert engine.pending == 1
+    engine.run()
+    assert engine.events_processed == 2
+
+
+def test_next_event_time_skips_cancelled_heads():
+    engine = SimulationEngine()
+    first = engine.schedule(1.0, lambda _e, _p: None)
+    engine.schedule(2.0, lambda _e, _p: None)
+    assert engine.next_event_time == 1.0
+    first.cancel()
+    assert engine.next_event_time == 2.0
+    engine.run()
+    assert engine.next_event_time is None
+
+
 def test_scheduling_in_the_past_raises():
     engine = SimulationEngine()
     engine.schedule(2.0, lambda _e, _p: None)

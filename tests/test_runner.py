@@ -92,6 +92,47 @@ def test_duplicate_points_within_one_sweep_are_simulated_once(base):
     assert results[0].metrics == results[2].metrics
 
 
+def test_memoize_false_simulates_within_batch_duplicates(base, monkeypatch):
+    calls = []
+    real = runner_module.run_scenario
+
+    def counting(scenario):
+        calls.append(scenario.name)
+        return real(scenario)
+
+    monkeypatch.setattr(runner_module, "run_scenario", counting)
+    runner = ExperimentRunner(executor="serial", memoize=False)
+    results = runner.run_many([base, base, base])
+    assert len(results) == 3
+    assert len(calls) == 3  # no within-batch dedup without memoization
+    assert runner.cache_hits == 0
+    assert runner.cache_size == 0
+
+
+def test_failing_scenario_reports_its_name(base, monkeypatch):
+    from dataclasses import replace
+
+    from repro.errors import ScenarioError
+
+    def explode(scenario):
+        raise ValueError("boom")
+
+    monkeypatch.setattr(runner_module, "run_scenario", explode)
+    runner = ExperimentRunner(executor="serial")
+    with pytest.raises(ScenarioError, match="doomed-point"):
+        runner.run(replace(base, name="doomed-point"))
+
+
+def test_failing_scenario_in_parallel_sweep_reports_its_name(base):
+    from repro.errors import ScenarioError
+
+    # An unknown backend knob only explodes inside the worker process.
+    bad = base.with_knobs(definitely_not_a_knob=1)
+    runner = ExperimentRunner(max_workers=2, executor="process")
+    with pytest.raises(ScenarioError, match="base"):
+        runner.run_many([bad, base.with_knobs()])
+
+
 def test_clear_cache_resets_statistics(base):
     runner = ExperimentRunner()
     runner.run(base)
