@@ -1,0 +1,105 @@
+"""End-to-end benchmark: flow-level vs analytic network mode.
+
+Times one full scenario simulation (DAG build + network model + executor)
+under both network modes, across cluster sizes and fabrics, so the cost of
+the flow-level machinery — per-step flow expansion, max–min fair
+reallocation, and (on photonic rails) time-domain circuit switching — is
+tracked release over release.
+
+Each measurement is emitted as one ``BENCH {...}`` JSON line::
+
+    BENCH {"bench": "flow_mode", "fabric": "photonic", "gpus": 16,
+           "network_mode": "flow", "wall_time_s": 0.18,
+           "steady_iteration_s": 0.125, "events": 3}
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_flow_mode.py [--quick] [nodes ...]
+
+``--quick`` restricts the sweep to the smallest cluster (the CI smoke
+configuration); positional arguments override the node counts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import replace
+
+from repro.experiments.runner import Scenario, run_scenario
+from repro.parallelism.workloads import small_test_workload
+from repro.topology.devices import perlmutter_testbed
+
+#: Fabrics benchmarked in both modes.  Photonic exercises the
+#: circuit-switched path (Opus gating + deferred routes); the packet fabrics
+#: exercise pure max–min fair sharing.
+FABRICS = ("electrical", "fattree", "photonic")
+
+DEFAULT_NODE_COUNTS = (2, 4, 8)
+NUM_ITERATIONS = 3
+
+
+def build_scenario(fabric: str, num_nodes: int, network_mode: str) -> Scenario:
+    # DP spans every node; 2-port NICs let the photonic planner build rings
+    # over more than two scale-up domains (constraint C1/C3).
+    cluster = replace(perlmutter_testbed(num_nodes=num_nodes), nic_ports_per_gpu=2)
+    return Scenario(
+        workload=small_test_workload(pp=1, dp=num_nodes, tp=4),
+        cluster=cluster,
+        backend=fabric,
+        knobs={"network_mode": network_mode},
+        num_iterations=NUM_ITERATIONS,
+        name=f"bench-{fabric}-{num_nodes}",
+    )
+
+
+def run_point(fabric: str, num_nodes: int, network_mode: str, repeat: int = 3) -> dict:
+    scenario = build_scenario(fabric, num_nodes, network_mode)
+    best = None
+    steady = 0.0
+    for _ in range(repeat):
+        started = time.perf_counter()
+        result = run_scenario(scenario)
+        elapsed = time.perf_counter() - started
+        steady = result.metrics["steady_iteration_time"]
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "bench": "flow_mode",
+        "fabric": fabric,
+        "gpus": num_nodes * 4,
+        "network_mode": network_mode,
+        "wall_time_s": round(best, 6),
+        "steady_iteration_s": steady,
+        "iterations": NUM_ITERATIONS,
+    }
+
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    sizes = [int(arg) for arg in argv if not arg.startswith("--")]
+    if not sizes:
+        sizes = [DEFAULT_NODE_COUNTS[0]] if quick else list(DEFAULT_NODE_COUNTS)
+    repeat = 1 if quick else 3
+
+    print(f"{'fabric':>12} {'gpus':>5} {'analytic (s)':>13} {'flow (s)':>10} {'ratio':>7}")
+    for num_nodes in sizes:
+        for fabric in FABRICS:
+            points = {}
+            for mode in ("analytic", "flow"):
+                point = run_point(fabric, num_nodes, mode, repeat=repeat)
+                points[mode] = point
+                print("BENCH " + json.dumps(point, sort_keys=True))
+            ratio = points["flow"]["wall_time_s"] / max(
+                points["analytic"]["wall_time_s"], 1e-12
+            )
+            print(
+                f"{fabric:>12} {num_nodes * 4:>5} "
+                f"{points['analytic']['wall_time_s']:>13.4f} "
+                f"{points['flow']['wall_time_s']:>10.4f} {ratio:>6.1f}x"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -54,6 +54,17 @@ class RailCircuitState:
                 result.append(existing)
         return result
 
+    def drain_time(self, circuits: Iterable[Circuit]) -> float:
+        """Latest time any of ``circuits`` is still carrying traffic.
+
+        This is the earliest instant a reconfiguration tearing them down may
+        start (Objective 3).  Circuits without recorded traffic drain at 0.
+        """
+        return max(
+            (self.busy_until.get(circuit, 0.0) for circuit in circuits),
+            default=0.0,
+        )
+
 
 class OpusController:
     """Central controller for every rail's OCS of one job."""
@@ -137,12 +148,12 @@ class OpusController:
 
         # Circuits that must be torn down because they share ports with the
         # circuits we need to add.
-        to_tear: Dict[Circuit, float] = {}
-        for circuit in missing:
-            for conflicting in state.conflicts_with(circuit):
-                to_tear[conflicting] = state.busy_until.get(conflicting, 0.0)
-
-        drain_time = max(to_tear.values(), default=0.0)
+        to_tear = {
+            conflicting
+            for circuit in missing
+            for conflicting in state.conflicts_with(circuit)
+        }
+        drain_time = state.drain_time(to_tear)
         start = max(request.issue_time, drain_time, state.switch_free_at)
         delay = self.reconfiguration_delay(rail)
         end = start + delay
@@ -178,7 +189,12 @@ class OpusController:
         """Mark circuits as carrying traffic until ``busy_until``.
 
         A reconfiguration that would tear one of these circuits cannot start
-        before the traffic drains (Objective 3).
+        before the traffic drains (Objective 3).  The analytic network models
+        feed the alpha–beta transfer end here; the flow-level photonic model
+        (:class:`~repro.simulator.flow_network.PhotonicFlowNetworkModel`)
+        feeds the *actual* drain time of the collective's flows, so drains
+        under contention push subsequent reconfigurations later exactly as
+        they would on hardware.
         """
         state = self.rail_state(rail)
         for circuit in circuits:

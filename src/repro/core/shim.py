@@ -22,13 +22,14 @@ The shim is the per-job runtime of Fig. 6.  It sits between the application
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..collectives.primitives import CollectiveOp
 from ..errors import ControlPlaneError
 from ..parallelism.groups import GroupRegistry
 from ..parallelism.mesh import DeviceMesh
 from ..parallelism.trace import ReconfigRecord
+from ..topology.ocs import CircuitConfiguration
 from ..topology.photonic import PhotonicRailFabric
 from .circuits import CircuitPlanner, RailConfiguration
 from .controller import OpusController
@@ -81,6 +82,14 @@ class OpusShim:
         self.options = options or ShimOptions()
         self.profiler = TrafficProfiler(mesh)
         self.tracker = PhaseTracker(self.profiler)
+        #: Optional veto on speculative installs: ``guard(rail, config)``
+        #: returns False when installing ``config`` on ``rail`` would tear a
+        #: circuit that is *currently* carrying traffic.  The analytic models
+        #: never need it (the controller's busy times fully describe traffic),
+        #: but the flow-level model has circuits whose drain time is unknown
+        #: while their flows are still on the wire, so it skips provisioning
+        #: against them rather than tearing live circuits.
+        self.circuit_guard: Optional[Callable[[int, CircuitConfiguration], bool]] = None
         self._iteration = 0
         self._provisioned_records: List[ReconfigRecord] = []
         #: Number of provisioning requests issued (for reporting/tests).
@@ -91,6 +100,12 @@ class OpusShim:
         #: switching delays re-ordering concurrent groups) cannot degenerate
         #: into a reconfiguration thrash loop.
         self._provisions_this_iteration: Dict[int, int] = {}
+        #: Latest provisioned issue time per rail.  Completion notifications
+        #: arrive in simulator event order, whose *logical* end times (event
+        #: time + path latency) need not be monotone across collectives, while
+        #: the FC-FS scheduler requires per-group issue order — so speculative
+        #: requests are clamped to never move backwards on a rail.
+        self._last_provision_issue: Dict[int, float] = {}
 
     # ------------------------------------------------------------------ #
     # Iteration lifecycle
@@ -123,7 +138,12 @@ class OpusShim:
     # Collective interception
     # ------------------------------------------------------------------ #
 
-    def _target_for(self, op: CollectiveOp) -> RailConfiguration:
+    def target_for(self, op: CollectiveOp) -> RailConfiguration:
+        """The circuit configuration the controller would install to serve ``op``.
+
+        Exposed so the flow-level model can inspect (and guard against live
+        conflicts with) the target before committing to a request.
+        """
         if self.options.coalesce_axis:
             return self.planner.target_for_op(op)
         return self.planner.configuration_for_op(op)
@@ -139,7 +159,7 @@ class OpusShim:
         if self.profiling:
             self.profiler.record_intent(intent)
 
-        target = self._target_for(op)
+        target = self.target_for(op)
         records: List[ReconfigRecord] = []
         ready = ready_time
         for rail in target.rails():
@@ -166,7 +186,7 @@ class OpusShim:
         intent = intent_from_collective(op, self.mesh, issued_at=start)
         if self.profiling:
             self.profiler.record_completion(intent, start, end)
-        target = self._target_for(op)
+        target = self.target_for(op)
         for rail in target.rails():
             circuits = target.configuration(rail).circuits
             installed = self.controller.installed_configuration(rail).circuits
@@ -209,11 +229,21 @@ class OpusShim:
             axis_config = self.planner.axis_configuration(predicted)
             if axis_config is None or rail not in axis_config:
                 continue
+            if self.circuit_guard is not None and not self.circuit_guard(
+                rail, axis_config[rail]
+            ):
+                # Installing the predicted axis would tear a circuit whose
+                # flows are still on the wire (drain time unknown at flow
+                # level).  Skip the speculation; the collective that actually
+                # needs the circuits will request them on demand.
+                continue
+            issue_time = max(end_time, self._last_provision_issue.get(rail, 0.0))
+            self._last_provision_issue[rail] = issue_time
             request = ReconfigurationRequest.create(
                 group_key=frozenset({-(rail + 1)}),
                 axis=predicted,
                 rails=(rail,),
-                issue_time=end_time,
+                issue_time=issue_time,
                 provisioned=True,
             )
             _, record = self.controller.ensure(rail, axis_config[rail], request)

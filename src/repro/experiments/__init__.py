@@ -9,8 +9,9 @@ This package turns the end-to-end simulator into an experiment platform:
 * :mod:`repro.experiments.runner` — declarative :class:`Scenario` specs, the
   memoized parallel :class:`ExperimentRunner`, and grid expansion.
 * :mod:`repro.experiments.contention` — bundled scenarios contrasting the
-  analytic and flow-level network modes (contention-free equivalence and the
-  shared-uplink incast divergence).
+  analytic and flow-level network modes (contention-free and
+  provisioned-photonic equivalence; shared-uplink incast and circuit-thrash
+  divergence).
 * :mod:`repro.experiments.cli` — the ``repro-sim`` console script.
 """
 
@@ -26,9 +27,11 @@ from .backends import (
 )
 from .contention import (
     NetworkModeComparison,
+    circuit_thrash_scenario,
     compare_network_modes,
     contention_free_scenario,
     mini_fat_tree_cluster,
+    provisioned_photonic_scenario,
     shared_uplink_incast_scenario,
 )
 from .runner import (
@@ -50,12 +53,14 @@ __all__ = [
     "all_backends",
     "available_backends",
     "backend",
+    "circuit_thrash_scenario",
     "compare_network_modes",
     "contention_free_scenario",
     "create_network",
     "expand_grid",
     "get_backend",
     "mini_fat_tree_cluster",
+    "provisioned_photonic_scenario",
     "register_backend",
     "run_scenario",
     "scenario_hash",

@@ -8,7 +8,7 @@ name.  The registry ships with six backends:
 ========== ==================================================================
 ``photonic``   photonic rails driven by the Opus control plane (the paper's
                proposal; knobs: ``reconfiguration_delay``, ``provisioning``,
-               ``technology``)
+               ``technology``, ``network_mode``)
 ``electrical`` fully-connected electrical rails, the Fig. 8 baseline
                (knobs: ``use_tree_collectives``, ``network_mode``)
 ``ideal``      zero-cost network — the communication-free lower bound
@@ -18,16 +18,21 @@ name.  The registry ships with six backends:
                (knobs: ``always_spine``, ``network_mode``)
 ``ocs``        bare OCS rails without Opus: every circuit-schedule change
                blocks for the switching delay (knobs:
-               ``reconfiguration_delay``, ``technology``)
+               ``reconfiguration_delay``, ``technology``, ``network_mode``)
 ========== ==================================================================
 
-The ``electrical``, ``fattree``, and ``railopt`` backends accept a
-``network_mode`` knob selecting how collectives are timed: ``"analytic"``
-(default) prices each collective independently with the alpha–beta cost
-model, while ``"flow"`` expands scale-out collectives into point-to-point
-transfers simulated with max–min fair sharing
-(:class:`~repro.simulator.flow_network.FlowNetworkModel`), so concurrent
-collectives contend for shared fabric links.
+Every backend except ``ideal`` accepts a ``network_mode`` knob selecting how
+collectives are timed: ``"analytic"`` (default) prices each collective
+independently with the alpha–beta cost model, while ``"flow"`` expands
+scale-out collectives into point-to-point transfers simulated with max–min
+fair sharing (:class:`~repro.simulator.flow_network.FlowNetworkModel`), so
+concurrent collectives contend for shared fabric links.  On the
+circuit-switched backends (``photonic``, ``ocs``) flow mode additionally
+makes topology change a time-domain event: collectives gate on the Opus
+controller's switching events, routes resolve over whatever circuits are
+installed when the flows start, and real flow drains feed the controller's
+busy-circuit bookkeeping
+(:class:`~repro.simulator.flow_network.PhotonicFlowNetworkModel`).
 
 Third parties register additional fabrics with the :func:`backend` decorator
 (or :func:`register_backend`); the experiment runner and the ``repro-sim`` CLI
@@ -48,8 +53,10 @@ from ..simulator.fabric_network import (
     RailOptimizedNetworkModel,
 )
 from ..simulator.flow_network import (
+    bare_ocs_flow_network,
     electrical_flow_network,
     fat_tree_flow_network,
+    photonic_flow_network,
     rail_optimized_flow_network,
 )
 from ..simulator.network import (
@@ -167,7 +174,7 @@ def _check_network_mode(network_mode: object) -> str:
 @backend(
     "photonic",
     "Photonic rails driven by the Opus control plane (the paper's proposal)",
-    knobs=("reconfiguration_delay", "provisioning", "technology"),
+    knobs=("reconfiguration_delay", "provisioning", "technology", "network_mode"),
 )
 def _photonic_backend(
     cluster: ClusterSpec,
@@ -176,7 +183,17 @@ def _photonic_backend(
     reconfiguration_delay: Optional[float] = None,
     provisioning: bool = True,
     technology: Optional[OCSTechnology] = None,
+    network_mode: Optional[str] = None,
 ) -> NetworkModel:
+    if _check_network_mode(network_mode) == "flow":
+        return photonic_flow_network(
+            cluster,
+            mesh,
+            reconfiguration_delay=reconfiguration_delay,
+            provisioning=bool(provisioning),
+            technology=technology,
+            registry=registry,
+        )
     # Imported lazily: repro.core imports this module back through
     # repro.core.system, so a module-level import would be circular.
     from ..core.network import PhotonicRailNetworkModel
@@ -269,7 +286,7 @@ def _railopt_backend(
 @backend(
     "ocs",
     "Bare OCS rails without Opus: schedule changes block for the switch time",
-    knobs=("reconfiguration_delay", "technology"),
+    knobs=("reconfiguration_delay", "technology", "network_mode"),
 )
 def _ocs_backend(
     cluster: ClusterSpec,
@@ -277,7 +294,16 @@ def _ocs_backend(
     registry: Optional[GroupRegistry] = None,
     reconfiguration_delay: Optional[float] = None,
     technology: Optional[OCSTechnology] = None,
+    network_mode: Optional[str] = None,
 ) -> NetworkModel:
+    if _check_network_mode(network_mode) == "flow":
+        return bare_ocs_flow_network(
+            cluster,
+            mesh,
+            reconfiguration_delay=reconfiguration_delay,
+            technology=technology,
+            registry=registry,
+        )
     return OCSReconfigurableNetworkModel(
         cluster,
         mesh,

@@ -9,9 +9,10 @@ Subcommands
       repro-sim run --backend photonic --workload tiny --cluster perlmutter:2 \\
           --knob reconfiguration_delay=0.015 --iterations 3 --format json
 
-  ``--network-mode flow`` switches the electrical, fat-tree, and
-  rail-optimized backends from analytic alpha–beta pricing to flow-level
-  simulation with max–min fair link sharing; it also works as a sweep
+  ``--network-mode flow`` switches a backend from analytic alpha–beta
+  pricing to flow-level simulation with max–min fair link sharing; on the
+  circuit-switched backends (photonic, ocs) it additionally simulates
+  reconfigurations as time-domain events.  It also works as a sweep
   dimension (``--grid network_mode=analytic,flow``).
 
 * ``repro-sim sweep`` — fan a parameter grid out over parallel workers::
@@ -243,9 +244,9 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         choices=NETWORK_MODES,
         default=None,
         help="how collectives are timed: 'analytic' alpha-beta pricing or "
-        "'flow' max-min fair flow simulation with link contention "
-        "(shorthand for --knob network_mode=...; electrical, fattree, and "
-        "railopt backends)",
+        "'flow' max-min fair flow simulation with link contention and, on "
+        "circuit-switched backends, time-domain reconfiguration events "
+        "(shorthand for --knob network_mode=...; every backend except ideal)",
     )
     parser.add_argument("--format", choices=("json", "csv"), default="json")
     parser.add_argument("--output", default=None, help="write to file instead of stdout")

@@ -1,17 +1,33 @@
 """Bundled scenarios contrasting the analytic and flow-level network modes.
 
-Two reference scenarios anchor the flow-level network mode:
+Four reference scenarios anchor the flow-level network mode:
 
 * :func:`contention_free_scenario` — a DP-only workload on fully-connected
   electrical rails.  Every scale-out collective owns its links, so the flow
   expansion must reproduce the analytic alpha–beta prediction (the modes are
   asserted equal within 2% in the test suite).
-* :func:`shared_uplink_incast_scenario` — the divergence demonstration: four
-  per-rail DP rings run concurrently over a small-radix, oversubscribed
-  fat-tree whose edge uplinks their routes share.  The analytic model prices
-  each ring as if it owned the uplink; the flow-level mode max–min fair
-  shares it, so flow mode is strictly slower — contention the analytic mode
-  cannot see.
+* :func:`shared_uplink_incast_scenario` — the packet-fabric divergence
+  demonstration: four per-rail DP rings run concurrently over a small-radix,
+  oversubscribed fat-tree whose edge uplinks their routes share.  The
+  analytic model prices each ring as if it owned the uplink; the flow-level
+  mode max–min fair shares it, so flow mode is strictly slower — contention
+  the analytic mode cannot see.
+* :func:`provisioned_photonic_scenario` — the circuit-switched equivalence
+  anchor: a DP-only workload on photonic rails, where the single parallelism
+  axis means circuits are installed once (profiling iteration) and never
+  reconfigured again.  Flows ride dedicated circuits without any sharing, so
+  flow mode must agree with the analytic photonic model within 5%.
+* :func:`circuit_thrash_scenario` — the circuit-switched divergence
+  demonstration: a small MoE workload whose DP and EP axes need mutually
+  conflicting circuit configurations on every rail, so the axes alternating
+  within each iteration defeats coalescing and forces steady-state
+  reconfigurations.  The EP AllToAll's direct exchange additionally needs
+  ``n-1`` distinct neighbors per rank (paper constraint C1) while the
+  crossbar holds a ring, so the distance-2+ exchanges forward through
+  intermediate hosts and contend for the ring circuits — stalls and
+  contention the analytic model, which prices every collective at the full
+  port rate and analytic drain times, structurally underprices.  Flow mode
+  is strictly slower.
 
 :func:`compare_network_modes` runs any scenario under both modes and reports
 the slowdown, which is how the ``repro-sim`` CLI and the tests consume these.
@@ -22,6 +38,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..parallelism.config import (
+    ModelConfig,
+    ParallelismConfig,
+    TrainingConfig,
+    WorkloadConfig,
+)
 from ..parallelism.workloads import small_test_workload
 from ..topology.devices import ClusterSpec, ElectricalSwitchSpec, perlmutter_testbed
 from ..units import GBPS
@@ -78,6 +100,88 @@ def shared_uplink_incast_scenario(
         knobs={"oversubscription": float(oversubscription)},
         num_iterations=num_iterations,
         name="shared-uplink-incast",
+    )
+
+
+def provisioned_photonic_scenario(num_iterations: int = 3) -> Scenario:
+    """DP-only workload on photonic rails: provisioned, contention-free.
+
+    With a single scale-out axis every rail installs its DP circuit during
+    the profiling iteration and never reconfigures again; flows then ride
+    dedicated point-to-point circuits at the full port rate.  Flow mode must
+    therefore reproduce the analytic photonic model's steady-state iteration
+    time (within 5%) — the circuit-switched analogue of
+    :func:`contention_free_scenario`.
+    """
+    return Scenario(
+        workload=small_test_workload(pp=1, dp=2, tp=4),
+        cluster=perlmutter_testbed(num_nodes=2),
+        backend="photonic",
+        num_iterations=num_iterations,
+        name="provisioned-photonic",
+    )
+
+
+#: A deliberately small MoE transformer: large enough for its EP AllToAll and
+#: DP FSDP traffic to fill the rails, small enough to simulate in tests.
+TINY_MOE_MODEL = ModelConfig(
+    name="Tiny-MoE",
+    num_layers=4,
+    hidden_size=1024,
+    ffn_hidden_size=4096,
+    num_attention_heads=8,
+    num_kv_heads=8,
+    vocab_size=32_000,
+    seq_length=2048,
+    num_experts=4,
+    moe_top_k=2,
+)
+
+
+def tiny_moe_workload() -> WorkloadConfig:
+    """A TP=4 / EP=4 / DP=2 MoE workload whose DP and EP axes alternate.
+
+    EP groups span four consecutive scale-up domains (a four-circuit ring per
+    rail needing both NIC ports of every GPU), DP pairs span domains four
+    apart (one port-0 circuit per rail).  The two axes' configurations
+    conflict on every rail, so each DP↔EP alternation inside an iteration
+    forces a reconfiguration — the thrash :func:`circuit_thrash_scenario`
+    measures.
+    """
+    return WorkloadConfig(
+        model=TINY_MOE_MODEL,
+        parallelism=ParallelismConfig(tp=4, dp=2, ep=4, use_fsdp=True),
+        training=TrainingConfig(global_batch_size=2 * 2 * 4, micro_batch_size=2),
+    )
+
+
+def circuit_thrash_cluster() -> ClusterSpec:
+    """Eight Perlmutter nodes with 2-port NICs (rings over >2 domains need both)."""
+    return replace(perlmutter_testbed(num_nodes=8), nic_ports_per_gpu=2)
+
+
+def circuit_thrash_scenario(
+    num_iterations: int = 3, reconfiguration_delay: float = 1e-3
+) -> Scenario:
+    """Alternating DP/EP axes defeating coalescing on photonic rails.
+
+    Every iteration alternates FSDP (DP) collectives with EP AllToAlls whose
+    circuit configurations conflict on every rail, so the shim reconfigures
+    in steady state (coalescing cannot help — the axes genuinely need
+    different crossbars).  At flow level the AllToAll's distance-2+ exchanges
+    forward through intermediate hosts over the installed ring (constraint
+    C1), contending for circuits the analytic model prices as dedicated, and
+    the contended drains push subsequent switching events later.  Flow mode
+    is strictly slower than analytic — reconfiguration stalls under live
+    contention that analytic pricing cannot see.
+    """
+    return Scenario(
+        workload=tiny_moe_workload(),
+        cluster=circuit_thrash_cluster(),
+        backend="photonic",
+        knobs={"reconfiguration_delay": float(reconfiguration_delay)},
+        num_iterations=num_iterations,
+        name="circuit-thrash",
     )
 
 

@@ -201,6 +201,14 @@ class DAGExecutor:
         earlier (or tie-breaking lower-id) operation is observed first.
         Compute operations and analytically-priced collectives finalize
         immediately, exactly as in the analytic loop.
+
+        Circuit-switched models additionally gate each launch: ``begin_comm``
+        may schedule the collective's first flows at a later time than
+        ``best_start`` (the OCS switching delay), or defer the launch until
+        conflicting circuits drain.  Both manifest as future simulator events,
+        so the drain loops below cover them; the NICs stay locked for the
+        whole gated window, which is exactly the blocking the paper's Fig. 8
+        measures.
         """
         network = self.network
         completed = 0
@@ -211,6 +219,10 @@ class DAGExecutor:
         locked: Set[int] = set()
         #: (op_id, end) pairs appended by collective-completion callbacks.
         finished: List[Tuple[int, float]] = []
+        # Circuit-switched flow models gate launches on the controller and
+        # buffer the switching events performed per collective; pick them up
+        # at completion so they land in the trace like analytic reconfigs do.
+        pop_records = getattr(network, "pop_reconfig_records", None)
 
         def finalize() -> None:
             nonlocal completed
@@ -220,7 +232,8 @@ class DAGExecutor:
                 for rank in operation.ranks:
                     state.nic_free[rank] = end
                     locked.discard(rank)
-                self._record_comm(operation, begin, end, (), trace)
+                records = tuple(pop_records(op_id)) if pop_records else ()
+                self._record_comm(operation, begin, end, records, trace)
                 self.network.on_comm_end(operation, end)
                 state.finish(op_id, end)
                 completed += 1

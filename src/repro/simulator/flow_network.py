@@ -13,34 +13,56 @@ barrier-synchronized steps of point-to-point transfers; each transfer is
 routed over the topology graph with :meth:`~repro.topology.base.Topology.shortest_path`
 and handed to the max–min fair :class:`~repro.simulator.flows.FlowSimulator`.
 Transfers of *all* in-flight collectives share one simulator, so concurrent
-collectives genuinely contend for link capacity instead of being priced
-independently.  The DAG executor drives this model through the
-``begin_comm`` / ``next_event_time`` / ``advance`` interface (see
-:class:`~repro.simulator.executor.DAGExecutor`); ``timing`` remains the
+collectives genuinely contend for link capacity.  The DAG executor drives this
+model through the ``begin_comm`` / ``next_event_time`` / ``advance`` interface
+(see :class:`~repro.simulator.executor.DAGExecutor`); ``timing`` remains the
 analytic fallback used for scale-up collectives and for collective types
 without a point-to-point expansion.
 
-On contention-free workloads the two modes agree: a lone ring collective's
-per-step flows each get the bottleneck bandwidth the analytic model divides
-out statically, and the per-step launch overhead mirrors the alpha term.
+:class:`PhotonicFlowNetworkModel` extends the machinery to circuit-switched
+fabrics: topology change becomes a first-class, time-domain event.  Every
+collective's launch is gated on :meth:`~repro.core.controller.OpusController.ensure`
+— the OCS switching delay separates the request from the flow start, routes
+are resolved only when the flows actually start (the circuits exist by then),
+the per-pair path cache invalidates on topology version bumps, and the real
+drain times of completed flows feed the controller's busy bookkeeping instead
+of analytic estimates.  The same model with profiling/provisioning/coalescing
+disabled is the flow-level twin of the bare-OCS backend.
+
+On contention-free workloads the flow and analytic modes agree: a lone ring
+collective's per-step flows each get the bottleneck bandwidth the analytic
+model divides out statically, and the per-step launch overhead mirrors the
+alpha term.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from ..collectives.primitives import CollectiveType
-from ..collectives.schedule import Schedule, expand
-from ..errors import SimulationError
+from ..collectives.schedule import Schedule, Transfer, expand
+from ..errors import SimulationError, TopologyError
 from ..parallelism.dag import Operation
 from ..parallelism.mesh import DeviceMesh
+from ..parallelism.trace import ReconfigRecord
 from ..topology.base import Link, Topology, gpu_node_name
 from ..topology.devices import ClusterSpec
 from ..topology.electrical import build_fully_connected_rail_topology
 from ..topology.fattree import build_fat_tree_fabric
+from ..topology.ocs import Circuit
+from ..topology.photonic import PhotonicRailFabric, build_photonic_rail_fabric
 from ..topology.railopt import build_rail_optimized_fabric
 from .fabric_network import TopologyNetworkModel
 from .flows import Flow, FlowSimulator
+from .network import CommTiming
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..core.circuits import RailConfiguration
+    from ..core.controller import OpusController
+    from ..core.shim import OpusShim, ShimOptions
+    from ..parallelism.groups import GroupRegistry
+    from ..topology.devices import OCSTechnology
+    from ..topology.ocs import CircuitConfiguration
 
 #: Called with the completion time when an expanded collective finishes.
 CompletionCallback = Callable[[float], None]
@@ -59,6 +81,24 @@ EXPANDABLE_COLLECTIVES = frozenset(
         CollectiveType.SEND_RECV,
     }
 )
+
+
+class _DeferredLaunch:
+    """A collective launch waiting for conflicting circuits to drain."""
+
+    __slots__ = ("pending", "operation", "start", "on_complete")
+
+    def __init__(
+        self,
+        pending: Set[Tuple[int, Circuit]],
+        operation: Operation,
+        start: float,
+        on_complete: CompletionCallback,
+    ) -> None:
+        self.pending = pending
+        self.operation = operation
+        self.start = start
+        self.on_complete = on_complete
 
 
 class _InFlightCollective:
@@ -97,9 +137,11 @@ class _InFlightCollective:
         self._outstanding = len(transfers)
         launch_at = ready_time + self._model.per_step_overhead
         for transfer in transfers:
-            path = self._model.path_between(transfer.src, transfer.dst)
+            # Deferred path resolution: on circuit fabrics the route only
+            # exists once the switching event completes, which is the flow's
+            # start instant, not this scheduling instant.
             self._model.simulator.add_flow(
-                path,
+                self._model.transfer_path(transfer),
                 transfer.size_bytes,
                 start_time=launch_at,
                 on_complete=self._flow_done,
@@ -107,7 +149,10 @@ class _InFlightCollective:
 
     def _flow_done(self, flow: Flow) -> None:
         self._outstanding -= 1
-        assert flow.finish_time is not None
+        if flow.finish_time is None:
+            raise SimulationError(
+                f"flow {flow.flow_id} reported completion without a finish time"
+            )
         if flow.finish_time > self._step_end:
             self._step_end = flow.finish_time
         if self._outstanding == 0:
@@ -140,10 +185,13 @@ class FlowNetworkModel(TopologyNetworkModel):
         topology: Topology,
     ) -> None:
         super().__init__(cluster, mesh, topology)
-        self.simulator = FlowSimulator()
+        self.simulator = FlowSimulator(topology=topology)
         #: Per-step software launch overhead, matching the analytic alpha term.
         self.per_step_overhead = self._scaleout_link.per_message_overhead
         self._pair_paths: Dict[Tuple[int, int], Tuple[Link, ...]] = {}
+        #: Topology version the path cache was built at; a mismatch (circuits
+        #: installed or torn since) drops every cached route.
+        self._paths_version = topology.version
         #: Expanded step schedules keyed by collective op id — the DAG reuses
         #: the same CollectiveOp across iterations, and expand() is pure.
         self._schedules: Dict[int, Schedule] = {}
@@ -166,29 +214,51 @@ class FlowNetworkModel(TopologyNetworkModel):
                 raise SimulationError(
                     "cannot rewind the flow simulator while flows are in flight"
                 )
-            self.simulator = FlowSimulator()
+            self.simulator = FlowSimulator(topology=self.topology)
 
     def can_expand(self, operation: Operation) -> bool:
         """Whether ``operation`` is expanded into flows (vs priced analytically)."""
-        assert operation.collective is not None
+        if operation.collective is None:
+            raise SimulationError(
+                f"operation {operation.op_id} has no collective to expand"
+            )
         return (
             self.is_scaleout(operation)
             and operation.collective.collective in EXPANDABLE_COLLECTIVES
         )
 
     def path_between(self, src_rank: int, dst_rank: int) -> Tuple[Link, ...]:
-        """Route between two ranks' GPUs (cached; includes scale-up hops)."""
+        """Route between two ranks' GPUs (cached; includes scale-up hops).
+
+        The cache is keyed on the topology version: circuit fabrics mutate
+        connectivity mid-simulation, and a route resolved before a
+        reconfiguration must not be served afterwards.
+        """
+        version = self.topology.version
+        if version != self._paths_version:
+            self._pair_paths.clear()
+            self._paths_version = version
         key = (src_rank, dst_rank)
         path = self._pair_paths.get(key)
         if path is None:
-            path = tuple(
-                self.topology.shortest_path(
-                    gpu_node_name(self.mesh.gpu_of(src_rank)),
-                    gpu_node_name(self.mesh.gpu_of(dst_rank)),
+            try:
+                path = tuple(
+                    self.topology.shortest_path(
+                        gpu_node_name(self.mesh.gpu_of(src_rank)),
+                        gpu_node_name(self.mesh.gpu_of(dst_rank)),
+                    )
                 )
-            )
+            except TopologyError as exc:
+                raise SimulationError(
+                    f"no route from rank {src_rank} to rank {dst_rank} on "
+                    f"{self.topology.name!r}: {exc}"
+                ) from exc
             self._pair_paths[key] = path
         return path
+
+    def transfer_path(self, transfer: Transfer) -> Callable[[], Tuple[Link, ...]]:
+        """Deferred route of one expanded transfer, resolved at flow start."""
+        return lambda: self.path_between(transfer.src, transfer.dst)
 
     def begin_comm(
         self,
@@ -202,12 +272,27 @@ class FlowNetworkModel(TopologyNetworkModel):
         schedules) with the collective's completion time once its last step
         drains.
         """
-        assert operation.collective is not None
+        steps = self._expanded_schedule(operation)
+        _InFlightCollective(self, steps, on_complete).launch(start_time)
+
+    def pop_reconfig_records(self, op_id: int) -> Tuple[ReconfigRecord, ...]:
+        """Reconfigurations performed on behalf of collective ``op_id``.
+
+        Called by the executor when the collective completes; packet fabrics
+        never reconfigure, circuit fabrics override this.
+        """
+        return ()
+
+    def _expanded_schedule(self, operation: Operation) -> Schedule:
+        if operation.collective is None:
+            raise SimulationError(
+                f"operation {operation.op_id} has no collective to expand"
+            )
         steps = self._schedules.get(operation.collective.op_id)
         if steps is None:
             steps = expand(operation.collective)
             self._schedules[operation.collective.op_id] = steps
-        _InFlightCollective(self, steps, on_complete).launch(start_time)
+        return steps
 
     @property
     def next_event_time(self) -> Optional[float]:
@@ -217,6 +302,294 @@ class FlowNetworkModel(TopologyNetworkModel):
     def advance(self) -> bool:
         """Process one network event; returns ``False`` when idle."""
         return self.simulator.engine.step()
+
+
+class PhotonicFlowNetworkModel(FlowNetworkModel):
+    """Flow-level photonic rails: circuit switching as time-domain events.
+
+    The analytic :class:`~repro.core.network.PhotonicRailNetworkModel` and
+    this model share the entire Opus control plane — the shim intercepts every
+    scale-out collective, the planner maps it to per-rail circuits, and
+    :meth:`~repro.core.controller.OpusController.ensure` performs the
+    switching-time arithmetic.  What changes at flow level is *when things
+    are known*:
+
+    * a collective's flows are scheduled at the circuit-ready time the
+      controller grants, so the switching delay manifests as simulator events
+      separating request from transfer;
+    * flow routes resolve at flow start (deferred), over whatever circuits
+      the crossbar holds at that instant, and torn circuits fail loudly;
+    * circuit busy times are fed back from *actual* flow drains — a
+      reconfiguration behind a contended collective waits for the real drain,
+      not an analytic estimate;
+    * speculative (provisioned) requests fire from the completion hook, i.e.
+      when the prior phase's flows have actually drained, and are skipped
+      entirely when they would tear a circuit that still carries flows.
+
+    With ``profile_first_iteration=False``, ``provisioning=False`` and
+    ``coalesce_axis=False`` the same model serves as the flow-level twin of
+    the bare-OCS backend: every group reconfigures on demand.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        mesh: DeviceMesh,
+        fabric: Optional[PhotonicRailFabric] = None,
+        reconfiguration_delay: Optional[float] = None,
+        shim_options: Optional["ShimOptions"] = None,
+        registry: Optional["GroupRegistry"] = None,
+    ) -> None:
+        # Imported lazily: repro.core pulls repro.experiments (through
+        # core.system) which imports this module back at its own module level.
+        from ..core.controller import OpusController
+        from ..errors import ConfigurationError
+
+        fabric = fabric or build_photonic_rail_fabric(cluster)
+        if fabric.cluster is not cluster:
+            raise ConfigurationError(
+                "the photonic fabric must be built from the same cluster "
+                "specification as the network model"
+            )
+        super().__init__(cluster, mesh, fabric.topology)
+        self.fabric = fabric
+        self._shim_options = shim_options
+        self._registry = registry
+        self.controller: "OpusController" = OpusController(
+            fabric, reconfiguration_delay=reconfiguration_delay
+        )
+        #: In-flight flow count per installed circuit, keyed by (rail, circuit).
+        self._circuit_load: Dict[Tuple[int, Circuit], int] = {}
+        #: Collectives whose launch waits for conflicting circuits to drain.
+        self._waiters: Dict[Tuple[int, Circuit], List[_DeferredLaunch]] = {}
+        #: Reconfiguration records awaiting pickup, keyed by DAG op id.
+        self._op_records: Dict[int, List[ReconfigRecord]] = {}
+        self.shim: "OpusShim" = self._build_shim()
+        # Installs and tears drop the route cache eagerly (the topology
+        # version check would catch them too; this keeps the cache from
+        # holding torn Link objects between version probes).
+        fabric.add_circuit_listener(lambda _event: self._pair_paths.clear())
+
+    def _build_shim(self) -> "OpusShim":
+        from ..core.shim import OpusShim
+
+        shim = OpusShim(
+            fabric=self.fabric,
+            mesh=self.mesh,
+            controller=self.controller,
+            registry=self._registry,
+            options=self._shim_options,
+        )
+        shim.circuit_guard = self._circuits_idle
+        return shim
+
+    # ------------------------------------------------------------------ #
+    # Flow-mode interface (circuit-gated)
+    # ------------------------------------------------------------------ #
+
+    def begin_comm(
+        self,
+        operation: Operation,
+        start_time: float,
+        on_complete: CompletionCallback,
+    ) -> None:
+        """Gate ``operation`` on its circuits, then inject its flows.
+
+        The circuit request is issued at ``start_time`` (the instant the
+        ranks' NICs are ready); the flows are scheduled at the ready time the
+        controller grants, so an exposed switching delay appears in the
+        simulation as a gap between the two.  If the request would tear a
+        circuit whose flows are still on the wire, the whole launch is
+        deferred until those flows drain — the drain event re-issues the
+        request at the drain time.
+        """
+        op = operation.collective
+        if op is None:
+            raise SimulationError(
+                f"operation {operation.op_id} has no collective to expand"
+            )
+        target = self.shim.target_for(op)
+        live = self._live_conflicts(target)
+        if live:
+            self._defer_launch(live, operation, start_time, on_complete)
+            return
+        grant = self.shim.request_circuits(op, start_time)
+        if grant.records:
+            self._op_records.setdefault(operation.op_id, []).extend(grant.records)
+        launch_at = max(start_time, grant.ready_time)
+        held = self._hold_circuits(target)
+
+        def _finished(end: float) -> None:
+            # Real drain feedback: the controller learns when the circuits
+            # actually emptied (notify_transfer marks them busy until then),
+            # and only afterwards may waiters / provisioning touch them.
+            self.shim.notify_transfer(op, launch_at, end)
+            self._release_circuits(held, end)
+            on_complete(end)
+
+        steps = self._expanded_schedule(operation)
+        _InFlightCollective(self, steps, _finished).launch(launch_at)
+
+    def pop_reconfig_records(self, op_id: int) -> Tuple[ReconfigRecord, ...]:
+        records = self._op_records.pop(op_id, None)
+        return tuple(records) if records else ()
+
+    # ------------------------------------------------------------------ #
+    # Analytic fallback + lifecycle hooks
+    # ------------------------------------------------------------------ #
+
+    def _scaleout_duration(self, operation: Operation) -> float:
+        # Circuits give every cross-domain hop the full port line rate — the
+        # paper's equal-bandwidth assumption (§4.2) — so the analytic fallback
+        # prices at the plain scale-out link instead of routing through the
+        # mutable circuit graph, matching PhotonicRailNetworkModel exactly.
+        if operation.collective is None:
+            raise SimulationError(
+                f"operation {operation.op_id} has no collective to price"
+            )
+        return self._ring.collective_time(operation.collective, self._scaleout_link)
+
+    def timing(self, operation: Operation, ready_time: float) -> CommTiming:
+        op = operation.collective
+        if op is None:
+            raise SimulationError(
+                f"operation {operation.op_id} has no collective to price"
+            )
+        duration = self.transfer_duration(operation)
+        if not self.is_scaleout(operation):
+            return CommTiming(start=ready_time, end=ready_time + duration)
+        live = self._live_conflicts(self.shim.target_for(op))
+        if live:
+            # timing() must answer synchronously, so unlike begin_comm it
+            # cannot defer until the conflicting flows drain — and letting
+            # ensure() tear circuits that still carry flows would silently
+            # keep stale capacity allocated.  Fail loudly instead; no bundled
+            # workload emits non-expandable scale-out collectives.
+            conflicts = ", ".join(
+                f"rail {rail} circuit {circuit}" for rail, circuit in sorted(
+                    live, key=lambda item: (item[0], item[1].ports)
+                )
+            )
+            raise SimulationError(
+                f"analytically-priced collective {op} needs circuits that "
+                f"conflict with live flows ({conflicts}); only expanded "
+                "collectives can wait for in-flight circuits to drain"
+            )
+        grant = self.shim.request_circuits(op, ready_time)
+        start = max(ready_time, grant.ready_time)
+        end = start + duration
+        self.shim.notify_transfer(op, start, end)
+        return CommTiming(start=start, end=end, reconfigs=grant.records)
+
+    def on_comm_end(self, operation: Operation, end_time: float) -> None:
+        if operation.collective is not None and self.is_scaleout(operation):
+            self.shim.notify_completion(operation.collective, end_time)
+
+    def on_iteration_start(self, iteration: int, time: float) -> None:
+        rewound = time < self.simulator.engine.now
+        super().on_iteration_start(iteration, time)
+        if rewound:
+            self._reset_control_plane()
+        self.shim.start_iteration(iteration, time)
+
+    def on_iteration_end(self, iteration: int, time: float) -> None:
+        self.shim.end_iteration(iteration, time)
+
+    def _reset_control_plane(self) -> None:
+        """Fresh control plane for a rewound clock (a second training run)."""
+        if self._circuit_load or self._waiters:
+            raise SimulationError(
+                "cannot rewind the photonic flow model while collectives hold "
+                "circuits"
+            )
+        self.controller.reset()
+        self._op_records.clear()
+        self.shim = self._build_shim()
+
+    # ------------------------------------------------------------------ #
+    # Live-circuit bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _live_conflicts(
+        self, target: "RailConfiguration"
+    ) -> Set[Tuple[int, Circuit]]:
+        """Installed circuits that carry flows and conflict with ``target``."""
+        live: Set[Tuple[int, Circuit]] = set()
+        for rail in target.rails():
+            state = self.controller.rail_state(rail)
+            for circuit in target.configuration(rail).circuits:
+                if circuit in state.installed:
+                    continue
+                for existing in state.conflicts_with(circuit):
+                    if self._circuit_load.get((rail, existing), 0) > 0:
+                        live.add((rail, existing))
+        return live
+
+    def _circuits_idle(self, rail: int, configuration: "CircuitConfiguration") -> bool:
+        """Shim guard: may ``configuration`` be installed without tearing live circuits?"""
+        state = self.controller.rail_state(rail)
+        for circuit in configuration.circuits:
+            if circuit in state.installed:
+                continue
+            for existing in state.conflicts_with(circuit):
+                if self._circuit_load.get((rail, existing), 0) > 0:
+                    return False
+        return True
+
+    def _defer_launch(
+        self,
+        live: Set[Tuple[int, Circuit]],
+        operation: Operation,
+        start_time: float,
+        on_complete: CompletionCallback,
+    ) -> None:
+        waiter = _DeferredLaunch(set(live), operation, start_time, on_complete)
+        for key in live:
+            self._waiters.setdefault(key, []).append(waiter)
+
+    def _hold_circuits(
+        self, target: "RailConfiguration"
+    ) -> List[Tuple[int, Circuit]]:
+        held: List[Tuple[int, Circuit]] = []
+        for rail in target.rails():
+            for circuit in target.configuration(rail).circuits:
+                key = (rail, circuit)
+                self._circuit_load[key] = self._circuit_load.get(key, 0) + 1
+                held.append(key)
+        return held
+
+    def _release_circuits(
+        self, held: List[Tuple[int, Circuit]], end: float
+    ) -> None:
+        ready: List[_DeferredLaunch] = []
+        for key in held:
+            count = self._circuit_load.get(key, 0) - 1
+            if count > 0:
+                self._circuit_load[key] = count
+                continue
+            self._circuit_load.pop(key, None)
+            for waiter in self._waiters.pop(key, []):
+                waiter.pending.discard(key)
+                if not waiter.pending:
+                    ready.append(waiter)
+        for waiter in ready:
+            self.begin_comm(
+                waiter.operation, max(waiter.start, end), waiter.on_complete
+            )
+
+    # ------------------------------------------------------------------ #
+    # Reporting helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_reconfigurations(self) -> int:
+        """Total switching events performed across all rails so far."""
+        return self.controller.total_reconfigurations()
+
+    @property
+    def reconfiguration_delay(self) -> float:
+        """The (possibly overridden) per-event switching delay in seconds."""
+        return self.controller.reconfiguration_delay(next(iter(self.fabric.rails)))
 
 
 # --------------------------------------------------------------------------- #
@@ -247,3 +620,57 @@ def rail_optimized_flow_network(
     """Flow-level twin of the leaf/spine rail-optimized fabric."""
     fabric = build_rail_optimized_fabric(cluster, always_spine=always_spine)
     return FlowNetworkModel(cluster, mesh, fabric.topology)
+
+
+def photonic_flow_network(
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    reconfiguration_delay: Optional[float] = None,
+    provisioning: bool = True,
+    technology: Optional["OCSTechnology"] = None,
+    registry: Optional["GroupRegistry"] = None,
+) -> PhotonicFlowNetworkModel:
+    """Flow-level photonic rails under the full Opus control plane."""
+    from ..core.shim import ShimOptions
+
+    fabric = build_photonic_rail_fabric(cluster, technology=technology)
+    return PhotonicFlowNetworkModel(
+        cluster,
+        mesh,
+        fabric=fabric,
+        reconfiguration_delay=reconfiguration_delay,
+        shim_options=ShimOptions(provisioning=bool(provisioning)),
+        registry=registry,
+    )
+
+
+def bare_ocs_flow_network(
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    reconfiguration_delay: Optional[float] = None,
+    technology: Optional["OCSTechnology"] = None,
+    registry: Optional["GroupRegistry"] = None,
+) -> PhotonicFlowNetworkModel:
+    """Flow-level bare OCS rails: on-demand per-group switching, no Opus.
+
+    Profiling, provisioning, and axis coalescing are disabled, so every
+    communication group pays its own switching event whenever its circuits
+    are missing — the flow-level counterpart of the analytic
+    :class:`~repro.simulator.fabric_network.OCSReconfigurableNetworkModel`
+    envelope.
+    """
+    from ..core.shim import ShimOptions
+
+    fabric = build_photonic_rail_fabric(cluster, technology=technology)
+    return PhotonicFlowNetworkModel(
+        cluster,
+        mesh,
+        fabric=fabric,
+        reconfiguration_delay=reconfiguration_delay,
+        shim_options=ShimOptions(
+            provisioning=False,
+            profile_first_iteration=False,
+            coalesce_axis=False,
+        ),
+        registry=registry,
+    )

@@ -22,14 +22,20 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import SimulationError
-from ..topology.base import Link
+from ..topology.base import Link, Topology
 from .engine import SimulationEngine
 
 #: Tolerance used when deciding whether a flow has finished transferring.
 _BYTES_EPSILON = 1e-6
+
+#: Deferred route: called at the flow's start event to resolve the path.
+#: Circuit-switched fabrics install a collective's circuits *after* its flows
+#: are scheduled (the switching delay separates the two), so the route over
+#: those circuits only exists — and is only looked up — when the flow starts.
+PathResolver = Callable[[], Sequence[Link]]
 
 
 @dataclass
@@ -171,12 +177,22 @@ class FlowSimulator:
         sim.run()
     """
 
-    def __init__(self, engine: Optional[SimulationEngine] = None) -> None:
+    def __init__(
+        self,
+        engine: Optional[SimulationEngine] = None,
+        topology: Optional[Topology] = None,
+    ) -> None:
         self.engine = engine or SimulationEngine()
+        #: Optional topology the flows route over.  When set, every flow's
+        #: links are checked for liveness at the flow's start event, so a
+        #: route over a torn-down circuit fails loudly instead of silently
+        #: charging capacity that no longer exists.
+        self.topology = topology
         self._flows: Dict[int, Flow] = {}
         self._active: Set[int] = set()
         self._counter = itertools.count()
         self._completion_callbacks: Dict[int, Callable[[Flow], None]] = {}
+        self._resolvers: Dict[int, PathResolver] = {}
         self._completion_event = None
         self._last_update = 0.0
         #: Outstanding flow-start events per exact start time, so arrival
@@ -191,12 +207,23 @@ class FlowSimulator:
 
     def add_flow(
         self,
-        path: Sequence[Link],
+        path: Union[Sequence[Link], PathResolver],
         size_bytes: float,
         start_time: float = 0.0,
         on_complete: Optional[Callable[[Flow], None]] = None,
     ) -> Flow:
-        """Register a flow that arrives at ``start_time``."""
+        """Register a flow that arrives at ``start_time``.
+
+        ``path`` is either the concrete link sequence or a zero-argument
+        callable resolved at the flow's start event (deferred path
+        resolution): on circuit-switched fabrics the route only exists once
+        the circuits are installed, which happens between scheduling and
+        start.  Until a deferred path resolves, the flow reports an empty
+        path.
+        """
+        resolver: Optional[PathResolver] = None
+        if callable(path):
+            resolver, path = path, ()
         flow = Flow(
             flow_id=next(self._counter),
             path=tuple(path),
@@ -204,6 +231,8 @@ class FlowSimulator:
             start_time=start_time,
         )
         self._flows[flow.flow_id] = flow
+        if resolver is not None:
+            self._resolvers[flow.flow_id] = resolver
         if on_complete is not None:
             self._completion_callbacks[flow.flow_id] = on_complete
         self.engine.schedule(start_time, self._on_flow_start, flow.flow_id)
@@ -264,6 +293,10 @@ class FlowSimulator:
             self._starts_at.pop(now, None)
         self._advance_progress(now)
         flow = self._flows[flow_id]
+        resolver = self._resolvers.pop(flow_id, None)
+        if resolver is not None:
+            flow.path = tuple(resolver())
+        self._check_links_alive(flow, now)
         if flow.size_bytes <= _BYTES_EPSILON:
             self._complete_flow(flow, now + flow.latency)
         else:
@@ -327,6 +360,31 @@ class FlowSimulator:
             self._active.discard(flow.flow_id)
             self._complete_flow(flow, engine.now + flow.latency)
         self._reallocate(engine.now)
+
+    def _check_links_alive(self, flow: Flow, now: float) -> None:
+        """Reject a flow whose route references links torn from the topology.
+
+        Raises
+        ------
+        SimulationError
+            If any link of the flow's path is no longer installed (or was
+            replaced by a different link under the same id) — on circuit
+            fabrics this means a reconfiguration tore the circuit down
+            between routing and flow start, and charging the stale capacity
+            would silently corrupt the allocation.
+        """
+        if self.topology is None:
+            return
+        for link in flow.path:
+            if self.topology.has_link(link.link_id) and (
+                self.topology.link(link.link_id) is link
+            ):
+                continue
+            raise SimulationError(
+                f"flow {flow.flow_id} starting at t={now:g}s is routed over "
+                f"torn-down link {link.src}->{link.dst} (id {link.link_id}); "
+                "the circuit was reconfigured away before the flow started"
+            )
 
     @staticmethod
     def _flow_is_drained(flow: Flow, now: float) -> bool:

@@ -13,6 +13,12 @@ Two features matter for the rest of the library:
 * **routing** — ``shortest_path`` provides hop-by-hop routes for packet
   fabrics; circuit fabrics install explicit circuits instead (see
   :mod:`repro.topology.photonic`).
+
+Circuit fabrics mutate their topology *during* simulation (installing and
+tearing optical circuits), so the graph carries a :attr:`Topology.version`
+counter that is bumped on every link change.  Consumers that cache anything
+derived from connectivity (per-pair routes, group link parameters) key their
+caches on the version instead of assuming a static graph.
 """
 
 from __future__ import annotations
@@ -106,6 +112,19 @@ class Topology:
         self._links: Dict[int, Link] = {}
         self._graph = nx.MultiDiGraph()
         self._link_counter = itertools.count()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every link change.
+
+        Route caches built on top of this topology (see
+        :meth:`repro.simulator.flow_network.FlowNetworkModel.path_between`)
+        compare the version they were built at against the current one instead
+        of assuming the graph is static — circuit fabrics add and remove
+        ``OPTICAL_CIRCUIT`` links while a simulation is running.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -141,6 +160,7 @@ class Topology:
         )
         self._links[link.link_id] = link
         self._graph.add_edge(src, dst, key=link.link_id, link=link)
+        self._version += 1
         return link
 
     def add_bidirectional_link(
@@ -162,6 +182,7 @@ class Topology:
         if link is None:
             raise TopologyError(f"link id {link_id} does not exist")
         self._graph.remove_edge(link.src, link.dst, key=link_id)
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -181,6 +202,15 @@ class Topology:
         if link_id not in self._links:
             raise TopologyError(f"link id {link_id} does not exist")
         return self._links[link_id]
+
+    def has_link(self, link_id: int) -> bool:
+        """Return whether a link with id ``link_id`` is currently installed.
+
+        Torn-down circuit links keep their ``Link`` objects alive in whoever
+        still holds a reference, so flow-level consumers use this to detect
+        routes that reference links no longer part of the fabric.
+        """
+        return link_id in self._links
 
     def nodes(self, kind: Optional[NodeKind] = None) -> List[Node]:
         """Return all nodes, optionally filtered by kind."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import CircuitError, ConfigurationError, TopologyError
 from .base import (
@@ -47,6 +47,41 @@ class RailEndpoint:
 
     domain: int
     nic_port: int = 0
+
+
+@dataclass(frozen=True)
+class CircuitChangeEvent:
+    """One circuit installed on (or torn from) the fabric's topology view.
+
+    Emitted by :meth:`PhotonicRailFabric.apply_configuration` for every
+    circuit whose topology links were added or removed, so time-domain
+    consumers (the flow-level network model, tests) can react to connectivity
+    changes as they happen instead of diffing the graph.
+    """
+
+    rail: int
+    circuit: Circuit
+    #: The pair of unidirectional topology link ids realizing the circuit.
+    link_ids: Tuple[int, int]
+    #: True for an install, False for a tear-down.
+    installed: bool
+
+
+#: Callback invoked for every circuit install / tear-down.
+CircuitChangeListener = Callable[[CircuitChangeEvent], None]
+
+
+def _circuit_latency() -> float:
+    """Propagation latency of one optical circuit hop, seconds.
+
+    The OCS is optically transparent — no packet processing, no buffering —
+    so the circuit hop itself contributes nothing beyond fiber propagation,
+    which is negligible at rack scale.  A GPU-to-GPU route over a circuit
+    (host link + circuit + host link) then carries the same 2 microseconds the
+    analytic scale-out link model charges, keeping the flow-level and analytic
+    photonic modes comparable on contention-free traffic.
+    """
+    return 0.0
 
 
 class PhotonicRail:
@@ -193,10 +228,29 @@ class PhotonicRailFabric:
     _circuit_links: Dict[Tuple[int, Circuit], Tuple[int, int]] = field(
         default_factory=dict
     )
+    #: Callbacks notified on every circuit install / tear-down.
+    _listeners: List[CircuitChangeListener] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # Circuit management
     # ------------------------------------------------------------------ #
+
+    def add_circuit_listener(self, listener: CircuitChangeListener) -> None:
+        """Subscribe to circuit install / tear-down events.
+
+        Listeners fire synchronously from :meth:`apply_configuration`, after
+        the topology links have been added (install) or removed (tear-down).
+        """
+        self._listeners.append(listener)
+
+    def circuit_links(self, rail: int, circuit: Circuit) -> Tuple[int, int]:
+        """Topology link ids currently realizing ``circuit`` on ``rail``."""
+        key = (rail, circuit)
+        if key not in self._circuit_links:
+            raise CircuitError(
+                f"circuit {circuit} is not installed on rail {rail}"
+            )
+        return self._circuit_links[key]
 
     def rail(self, rail: int) -> PhotonicRail:
         """Return the :class:`PhotonicRail` for rail index ``rail``."""
@@ -270,10 +324,12 @@ class PhotonicRailFabric:
             node_a,
             node_b,
             bandwidth=bandwidth,
-            latency=_host_latency(),
+            latency=_circuit_latency(),
             kind=LinkKind.OPTICAL_CIRCUIT,
         )
-        self._circuit_links[(rail, circuit)] = (forward.link_id, backward.link_id)
+        link_ids = (forward.link_id, backward.link_id)
+        self._circuit_links[(rail, circuit)] = link_ids
+        self._notify(CircuitChangeEvent(rail, circuit, link_ids, installed=True))
 
     def _remove_circuit_links(self, rail: int, circuit: Circuit) -> None:
         link_ids = self._circuit_links.pop((rail, circuit), None)
@@ -283,6 +339,11 @@ class PhotonicRailFabric:
             )
         for link_id in link_ids:
             self.topology.remove_link(link_id)
+        self._notify(CircuitChangeEvent(rail, circuit, link_ids, installed=False))
+
+    def _notify(self, event: CircuitChangeEvent) -> None:
+        for listener in self._listeners:
+            listener(event)
 
 
 def photonic_rail_inventory(cluster: ClusterSpec) -> FabricInventory:

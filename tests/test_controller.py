@@ -1,0 +1,139 @@
+"""OpusController.ensure: on-demand vs provisioned, drains, serialization.
+
+The controller's single entry point answers "when will these circuits be
+usable?".  These tests pin its time arithmetic directly (it was previously
+exercised only through the end-to-end system):
+
+* circuits already installed are granted without a switching event;
+* missing circuits charge the switching delay from the issue time;
+* a reconfiguration tearing a busy circuit waits for the traffic to drain
+  (Objective 3);
+* switching events on one rail serialize through ``switch_free_at`` while
+  rails stay independent;
+* the provisioned flag of the request lands on the reconfiguration record.
+"""
+
+import pytest
+
+from repro.core.controller import OpusController
+from repro.core.scheduler import ReconfigurationRequest
+from repro.errors import CircuitError
+from repro.topology.ocs import Circuit, CircuitConfiguration
+from repro.topology.photonic import build_photonic_rail_fabric
+from repro.topology.devices import perlmutter_testbed
+
+DELAY = 0.01
+
+
+@pytest.fixture()
+def controller():
+    cluster = perlmutter_testbed(num_nodes=4)
+    fabric = build_photonic_rail_fabric(cluster)
+    return OpusController(fabric, reconfiguration_delay=DELAY)
+
+
+def _request(issue_time, provisioned=False, group=frozenset({0, 1}), rail=0):
+    return ReconfigurationRequest.create(
+        group_key=group,
+        axis="dp",
+        rails=(rail,),
+        issue_time=issue_time,
+        provisioned=provisioned,
+    )
+
+
+def _config(*port_pairs):
+    return CircuitConfiguration(tuple(Circuit(a, b) for a, b in port_pairs))
+
+
+def test_ensure_installs_missing_circuits_and_charges_the_delay(controller):
+    ready, record = controller.ensure(0, _config((0, 1)), _request(issue_time=2.0))
+    assert ready == pytest.approx(2.0 + DELAY)
+    assert record is not None
+    assert record.start == pytest.approx(2.0)
+    assert record.end == pytest.approx(2.0 + DELAY)
+    assert record.num_circuits_changed == 1
+    assert not record.provisioned
+    # The decision is mirrored onto the fabric: the OCS crossbar holds the
+    # circuit and the topology view gained the circuit links.
+    assert controller.fabric.rail(0).ocs.is_connected(0, 1)
+    assert controller.fabric.topology.links_between("gpu0.nic0", "gpu4.nic0")
+
+
+def test_ensure_grants_installed_circuits_without_a_switching_event(controller):
+    controller.ensure(0, _config((0, 1)), _request(issue_time=0.0))
+    ready, record = controller.ensure(0, _config((0, 1)), _request(issue_time=5.0))
+    assert record is None
+    assert ready == pytest.approx(5.0)
+    assert controller.rail_state(0).reconfigurations == 1
+
+
+def test_ensure_waits_for_an_installed_circuit_to_become_usable(controller):
+    # Second request arrives while the switching event is still in progress:
+    # the circuits exist but only become usable when the event finishes.
+    controller.ensure(0, _config((0, 1)), _request(issue_time=1.0))
+    ready, record = controller.ensure(
+        0, _config((0, 1)), _request(issue_time=1.001)
+    )
+    assert record is None
+    assert ready == pytest.approx(1.0 + DELAY)
+
+
+def test_reconfiguration_waits_for_busy_circuits_to_drain(controller):
+    controller.ensure(0, _config((0, 1)), _request(issue_time=0.0))
+    controller.notify_traffic(0, [Circuit(0, 1)], busy_until=5.0)
+    assert controller.rail_state(0).drain_time([Circuit(0, 1)]) == pytest.approx(5.0)
+    # (0, 2) conflicts with the busy (0, 1) on port 0: the switching event
+    # cannot start before the traffic drains at t=5 (Objective 3).
+    ready, record = controller.ensure(
+        0, _config((0, 2)), _request(issue_time=1.0, group=frozenset({0, 2}))
+    )
+    assert record is not None
+    assert record.start == pytest.approx(5.0)
+    assert ready == pytest.approx(5.0 + DELAY)
+    assert Circuit(0, 1) not in controller.rail_state(0).installed
+
+
+def test_switching_events_serialize_per_rail(controller):
+    controller.ensure(0, _config((0, 1)), _request(issue_time=0.0))
+    # (2, 3) conflicts with nothing, but the rail's OCS is still switching
+    # until t=DELAY, so the second event starts only then.
+    ready, record = controller.ensure(
+        0, _config((2, 3)), _request(issue_time=0.0, group=frozenset({2, 3}))
+    )
+    assert record is not None
+    assert record.start == pytest.approx(DELAY)
+    assert ready == pytest.approx(2 * DELAY)
+
+
+def test_rails_switch_independently(controller):
+    controller.ensure(0, _config((0, 1)), _request(issue_time=0.0))
+    ready, _record = controller.ensure(
+        1, _config((0, 1)), _request(issue_time=0.0, rail=1)
+    )
+    assert ready == pytest.approx(DELAY)
+
+
+def test_provisioned_requests_are_flagged_on_the_record(controller):
+    _, record = controller.ensure(
+        0, _config((0, 1)), _request(issue_time=0.0, provisioned=True)
+    )
+    assert record is not None
+    assert record.provisioned
+
+
+def test_notify_traffic_rejects_unknown_circuits(controller):
+    with pytest.raises(CircuitError):
+        controller.notify_traffic(0, [Circuit(0, 1)], busy_until=1.0)
+
+
+def test_reset_clears_circuits_and_timing_state(controller):
+    controller.ensure(0, _config((0, 1)), _request(issue_time=0.0))
+    controller.notify_traffic(0, [Circuit(0, 1)], busy_until=9.0)
+    controller.reset()
+    state = controller.rail_state(0)
+    assert not state.installed
+    assert not state.busy_until
+    assert state.switch_free_at == 0.0
+    assert controller.total_reconfigurations() == 0
+    assert not controller.fabric.rail(0).ocs.installed.circuits
