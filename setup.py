@@ -19,7 +19,7 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.9",
-    install_requires=["networkx"],
+    install_requires=["networkx", "numpy"],
     entry_points={
         "console_scripts": [
             "repro-sim=repro.experiments.cli:main",

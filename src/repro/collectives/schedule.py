@@ -15,8 +15,9 @@ approximation used by most collective simulators).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from ..errors import ConfigurationError
 from .primitives import CollectiveOp, CollectiveType
@@ -180,6 +181,43 @@ def expand(op: CollectiveOp, prefer_tree: bool = False) -> Schedule:
         ):
             return tree_schedule(op)
     return ring_schedule(op)
+
+
+#: Memoized expansions, keyed by everything the schedule depends on: the
+#: collective type, the exact rank group, the payload size, and the algorithm
+#: choice.  Tags, parallelism labels, and DAG op ids deliberately do not
+#: participate — two FSDP layers with the same group and size share one
+#: schedule object.  Bounded LRU so pathological sweeps cannot hoard memory.
+_EXPANSION_CACHE: "OrderedDict[Tuple[CollectiveType, Tuple[int, ...], float, bool], Schedule]" = (
+    OrderedDict()
+)
+_EXPANSION_CACHE_MAX = 1024
+
+
+def expand_cached(op: CollectiveOp, prefer_tree: bool = False) -> Schedule:
+    """Memoized :func:`expand` keyed on ``(collective, group, size)``.
+
+    The returned schedule is shared between callers and across iterations;
+    treat it as immutable.  The large-scale flow simulations re-expand the
+    same (group, size) shape thousands of times per run — once per DAG
+    operation per iteration — and expansion is O(steps × group size), so the
+    cache turns a quadratic per-iteration cost into a lookup.
+    """
+    key = (op.collective, op.group, op.size_bytes, prefer_tree)
+    cached = _EXPANSION_CACHE.get(key)
+    if cached is not None:
+        _EXPANSION_CACHE.move_to_end(key)
+        return cached
+    schedule = expand(op, prefer_tree=prefer_tree)
+    _EXPANSION_CACHE[key] = schedule
+    if len(_EXPANSION_CACHE) > _EXPANSION_CACHE_MAX:
+        _EXPANSION_CACHE.popitem(last=False)
+    return schedule
+
+
+def expansion_cache_clear() -> None:
+    """Drop all memoized expansions (test isolation helper)."""
+    _EXPANSION_CACHE.clear()
 
 
 def distinct_neighbors(schedule: Schedule, rank: int) -> int:

@@ -21,12 +21,12 @@ builds and caches these configurations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..collectives.primitives import CollectiveOp, CollectiveType
-from ..errors import CircuitConflictError, ConfigurationError, ControlPlaneError
-from ..parallelism.groups import CommunicationGroup, GroupRegistry
+from ..errors import CircuitConflictError, ControlPlaneError
+from ..parallelism.groups import GroupRegistry
 from ..parallelism.mesh import DeviceMesh
 from ..topology.ocs import Circuit, CircuitConfiguration
 from ..topology.photonic import PhotonicRailFabric, RailEndpoint

@@ -20,8 +20,8 @@ provisioning hides the switching delay inside the inter-phase window (Fig. 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import CircuitError, ControlPlaneError
 from ..parallelism.trace import ReconfigRecord
@@ -43,15 +43,39 @@ class RailCircuitState:
     switch_free_at: float = 0.0
     #: Number of switching events performed on this rail.
     reconfigurations: int = 0
+    #: Installed circuit per OCS port (a valid crossbar state uses every
+    #: port at most once); kept in sync by :meth:`install` / :meth:`tear` so
+    #: conflict checks are port lookups, not scans over every installed
+    #: circuit — the scan was quadratic per collective at fabric scale.
+    port_owner: Dict[int, Circuit] = field(default_factory=dict)
+
+    def install(self, circuit: Circuit, usable_at: float) -> None:
+        """Record ``circuit`` as installed and usable at ``usable_at``."""
+        self.installed[circuit] = usable_at
+        self.port_owner[circuit.port_a] = circuit
+        self.port_owner[circuit.port_b] = circuit
+
+    def tear(self, circuit: Circuit) -> None:
+        """Forget an installed circuit (no-op if absent)."""
+        if self.installed.pop(circuit, None) is not None:
+            self.busy_until.pop(circuit, None)
+            for port in (circuit.port_a, circuit.port_b):
+                if self.port_owner.get(port) == circuit:
+                    del self.port_owner[port]
+
+    def clear(self) -> None:
+        """Tear every circuit and forget traffic bookkeeping."""
+        self.installed.clear()
+        self.busy_until.clear()
+        self.port_owner.clear()
 
     def conflicts_with(self, circuit: Circuit) -> List[Circuit]:
         """Installed circuits sharing a port with ``circuit`` (excluding itself)."""
         result = []
-        for existing in self.installed:
-            if existing == circuit:
-                continue
-            if existing.uses_port(circuit.port_a) or existing.uses_port(circuit.port_b):
-                result.append(existing)
+        for port in (circuit.port_a, circuit.port_b):
+            owner = self.port_owner.get(port)
+            if owner is not None and owner != circuit and owner not in result:
+                result.append(owner)
         return result
 
     def drain_time(self, circuits: Iterable[Circuit]) -> float:
@@ -93,6 +117,12 @@ class OpusController:
         self._rails: Dict[int, RailCircuitState] = {
             rail: RailCircuitState(rail=rail) for rail in fabric.rails
         }
+        #: Fast-path memo for :meth:`ensure`: (rail, configuration identity)
+        #: -> (configuration, rail reconfiguration epoch, ready time).  The
+        #: planner hands out cached configuration objects, and a coalesced
+        #: axis configuration at fabric scale holds thousands of circuits —
+        #: rescanning them per collective dominated the control plane.
+        self._ensure_cache: Dict[Tuple[int, int], Tuple[CircuitConfiguration, int, float]] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -139,11 +169,25 @@ class OpusController:
         self.scheduler.submit(request)
         self.scheduler.next_request()
 
+        cache_key = (rail, id(target))
+        cached = self._ensure_cache.get(cache_key)
+        if (
+            cached is not None
+            and cached[0] is target
+            and cached[1] == state.reconfigurations
+        ):
+            # This exact configuration was fully installed when last checked
+            # and no switching event has happened on the rail since.
+            return max(request.issue_time, cached[2]), None
+
         missing = [c for c in target.circuits if c not in state.installed]
         if not missing:
             if not target.circuits:
                 return request.issue_time, None
             ready = max(state.installed[c] for c in target.circuits)
+            if len(self._ensure_cache) >= 4096:
+                self._ensure_cache.clear()
+            self._ensure_cache[cache_key] = (target, state.reconfigurations, ready)
             return max(request.issue_time, ready), None
 
         # Circuits that must be torn down because they share ports with the
@@ -159,10 +203,9 @@ class OpusController:
         end = start + delay
 
         for circuit in to_tear:
-            state.installed.pop(circuit, None)
-            state.busy_until.pop(circuit, None)
+            state.tear(circuit)
         for circuit in missing:
-            state.installed[circuit] = end
+            state.install(circuit, end)
         state.switch_free_at = end
         state.reconfigurations += 1
 
@@ -210,11 +253,11 @@ class OpusController:
     def reset(self) -> None:
         """Tear down every circuit and forget all timing state (new job)."""
         for rail, state in self._rails.items():
-            state.installed.clear()
-            state.busy_until.clear()
+            state.clear()
             state.switch_free_at = 0.0
             state.reconfigurations = 0
             self.fabric.clear_rail(rail)
+        self._ensure_cache.clear()
         self.scheduler.reset()
 
     # ------------------------------------------------------------------ #

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 from ..collectives.primitives import CollectiveOp, CollectiveType, total_traffic_bytes
 from ..errors import ControlPlaneError

@@ -15,7 +15,7 @@ reconfigures "if the demand matrix of the parallelism changes".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ProfileError
 from ..parallelism.mesh import DeviceMesh

@@ -21,7 +21,7 @@ The shim is the per-job runtime of Fig. 6.  It sits between the application
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..collectives.primitives import CollectiveOp
@@ -33,7 +33,7 @@ from ..topology.ocs import CircuitConfiguration
 from ..topology.photonic import PhotonicRailFabric
 from .circuits import CircuitPlanner, RailConfiguration
 from .controller import OpusController
-from .intents import CommIntent, intent_from_collective
+from .intents import intent_from_collective
 from .profiles import PhaseTracker, TrafficProfiler
 from .scheduler import ReconfigurationRequest
 

@@ -24,6 +24,13 @@ Subcommands
 * ``repro-sim fig8`` — the paper's Fig. 8 reconfiguration-latency sweep
   (normalized against the electrical baseline) through the experiment runner.
 
+* ``repro-sim scale`` — the large-scale scenario family (1k/4k/10k-endpoint
+  fabrics, multi-collective MoE steady state) in flow or analytic mode,
+  fanned out over parallel workers::
+
+      repro-sim scale --endpoints 1000,10000 --backends fattree,photonic \\
+          --network-mode flow --workers 4 --format csv
+
 Workload presets: ``tiny``, ``paper-trace``, ``moe``, ``llama3-405b``
 (tune with repeatable ``--workload-arg pp=2`` overrides).  Clusters are
 ``perlmutter:<nodes>`` or ``dgx-h200:<gpus>[:<nic_ports>]``.
@@ -323,6 +330,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from .contention import scale_scenario
+
+    try:
+        endpoints = [int(value) for value in args.endpoints.split(",")]
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"--endpoints must be comma-separated GPU counts, got {args.endpoints!r}"
+        ) from exc
+    backends = [name.strip() for name in args.backends.split(",") if name.strip()]
+    for name in backends:
+        get_backend(name)  # fail fast on unknown backends
+    scenarios = [
+        scale_scenario(
+            num_endpoints=count,
+            backend=name,
+            network_mode=args.network_mode,
+            num_iterations=args.iterations,
+        )
+        for count in endpoints
+        for name in backends
+    ]
+    runner = ExperimentRunner(max_workers=args.workers, executor=args.executor)
+    results = runner.run_many(scenarios)
+    _emit(_result_rows(results, args.format), args.format, args.output)
+    print(
+        f"scale: {len(results)} points, {runner.cache_misses} simulated, "
+        f"{runner.max_workers} workers",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_fig8(args: argparse.Namespace) -> int:
     from ..core.system import reconfiguration_latency_sweep
 
@@ -390,6 +430,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=("thread", "process", "serial"), default="process"
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    scale_parser = subparsers.add_parser(
+        "scale",
+        help="the large-scale scenario family (1k/4k/10k-endpoint fabrics)",
+    )
+    scale_parser.add_argument(
+        "--endpoints",
+        default="1000",
+        help="comma-separated GPU counts (multiples of 40, e.g. 1000,4000,10000)",
+    )
+    scale_parser.add_argument(
+        "--backends",
+        default="fattree",
+        help="comma-separated backends (fattree, railopt, photonic, ...)",
+    )
+    scale_parser.add_argument(
+        "--network-mode", choices=NETWORK_MODES, default="flow"
+    )
+    scale_parser.add_argument("--iterations", type=int, default=2)
+    scale_parser.add_argument("--workers", type=int, default=None)
+    scale_parser.add_argument(
+        "--executor", choices=("thread", "process", "serial"), default="process"
+    )
+    scale_parser.add_argument("--format", choices=("json", "csv"), default="json")
+    scale_parser.add_argument("--output", default=None)
+    scale_parser.set_defaults(func=_cmd_scale)
 
     fig8_parser = subparsers.add_parser(
         "fig8", help="the paper's Fig. 8 reconfiguration-latency sweep"

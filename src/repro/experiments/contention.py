@@ -31,21 +31,37 @@ Four reference scenarios anchor the flow-level network mode:
 
 :func:`compare_network_modes` runs any scenario under both modes and reports
 the slowdown, which is how the ``repro-sim`` CLI and the tests consume these.
+
+The module additionally hosts the **large-scale scenario family**
+(:func:`scale_scenario`, :func:`scale_scenario_grid`): 1k/4k/10k-endpoint
+fabrics running a multi-collective MoE steady state (concurrent per-rail FSDP
+rings across the DP axis plus expert-parallel AllToAlls), on the fat-tree,
+rail-optimized, and photonic backends.  These are the workloads the
+flow-simulator scaling work (vectorized water-filling, component-local
+reallocation, route tables) is measured against, runnable directly via
+``repro-sim scale`` and swept in parallel through the experiment runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import List, Optional, Sequence
 
+from ..errors import ConfigurationError
 from ..parallelism.config import (
     ModelConfig,
     ParallelismConfig,
     TrainingConfig,
     WorkloadConfig,
 )
+from ..parallelism.dag import DagBuildOptions
 from ..parallelism.workloads import small_test_workload
-from ..topology.devices import ClusterSpec, ElectricalSwitchSpec, perlmutter_testbed
+from ..topology.devices import (
+    ClusterSpec,
+    ElectricalSwitchSpec,
+    OCSTechnology,
+    perlmutter_testbed,
+)
 from ..units import GBPS
 from .runner import ExperimentRunner, Scenario, ScenarioResult
 
@@ -183,6 +199,151 @@ def circuit_thrash_scenario(
         num_iterations=num_iterations,
         name="circuit-thrash",
     )
+
+
+# --------------------------------------------------------------------------- #
+# Large-scale scenario family (1k / 4k / 10k endpoints)
+# --------------------------------------------------------------------------- #
+
+#: Endpoint counts of the published scale family.
+SCALE_ENDPOINTS = (1_000, 4_000, 10_000)
+
+#: Backends the scale family targets (all run both network modes).
+SCALE_BACKENDS = ("fattree", "railopt", "photonic")
+
+#: Expert-parallel width of the scale workload: EP groups span 10 consecutive
+#: scale-up domains (the AllToAll's ring forwarding stays short), DP groups
+#: span the remaining node dimension and carry the fabric-scale rings.
+_SCALE_EP = 10
+
+#: GPUs per scale-up domain in the scale family (Perlmutter-style nodes).
+_SCALE_GPUS_PER_NODE = 4
+
+#: A synthetic high-radix OCS for cluster-scale photonic rails: Table 3's
+#: real products top out at radix 1008, which caps a 2-port-NIC rail fabric
+#: at 504 scale-up domains; the scale family models the paper's hypergrowth
+#: extrapolation where each rail OCS (or OCS group) offers enough ports for
+#: thousands of domains at SiP-class switching speed.
+SCALE_OCS = OCSTechnology(
+    name="Scale-SiP",
+    vendor="synthetic",
+    reconfiguration_time=7e-6,
+    radix=8192,
+)
+
+#: A compact MoE transformer whose FSDP and EP traffic saturates the rails
+#: without inflating the DAG: two layers, 10 experts (matching the EP width).
+SCALE_MOE_MODEL = ModelConfig(
+    name="Scale-MoE",
+    num_layers=2,
+    hidden_size=2048,
+    ffn_hidden_size=8192,
+    num_attention_heads=16,
+    num_kv_heads=16,
+    vocab_size=32_000,
+    seq_length=2048,
+    num_experts=_SCALE_EP,
+    moe_top_k=2,
+)
+
+
+def scale_cluster(num_endpoints: int) -> ClusterSpec:
+    """A Perlmutter-style cluster with ``num_endpoints`` GPUs.
+
+    2-port NICs let the photonic planner build rings over more than two
+    scale-up domains (constraint C1/C3), and the synthetic high-radix
+    :data:`SCALE_OCS` lets one rail crossbar span every domain.
+    """
+    _check_scale_endpoints(num_endpoints)
+    return replace(
+        perlmutter_testbed(num_nodes=num_endpoints // _SCALE_GPUS_PER_NODE),
+        nic_ports_per_gpu=2,
+        ocs=SCALE_OCS,
+    )
+
+
+def scale_workload(num_endpoints: int) -> WorkloadConfig:
+    """The multi-collective steady-state workload of the scale family.
+
+    TP=4 keeps tensor parallelism on NVLink; EP=10 spans consecutive domains
+    with AllToAll dispatch; the DP axis (FSDP) covers the remaining node
+    dimension, so every rail carries ``dp`` concurrent EP exchanges and
+    ``ep`` concurrent FSDP rings in steady state.  One micro-batch per
+    iteration and stage-aggregated FSDP keep the DAG compact (a few thousand
+    operations) while the expanded flow count grows with the fabric — which
+    is exactly the regime the flow-simulator scaling work targets.
+    """
+    _check_scale_endpoints(num_endpoints)
+    num_nodes = num_endpoints // _SCALE_GPUS_PER_NODE
+    dp = num_nodes // _SCALE_EP
+    parallelism = ParallelismConfig(
+        tp=_SCALE_GPUS_PER_NODE, dp=dp, ep=_SCALE_EP, use_fsdp=True
+    )
+    training = TrainingConfig(
+        global_batch_size=dp * 2,
+        micro_batch_size=2,
+        # Scalar-payload sync AllReduces expand into group-size flow rings;
+        # at 10k endpoints they would dominate the flow count while carrying
+        # bytes that round to nothing, so the scale family omits them.
+        optimizer_sync_collectives=0,
+    )
+    return WorkloadConfig(
+        model=SCALE_MOE_MODEL, parallelism=parallelism, training=training
+    )
+
+
+def _check_scale_endpoints(num_endpoints: int) -> None:
+    per_block = _SCALE_GPUS_PER_NODE * _SCALE_EP
+    if num_endpoints <= 0 or num_endpoints % per_block != 0:
+        raise ConfigurationError(
+            f"scale scenarios need a positive multiple of {per_block} "
+            f"endpoints (tp={_SCALE_GPUS_PER_NODE} x ep={_SCALE_EP} x dp), "
+            f"got {num_endpoints}"
+        )
+
+
+def scale_scenario(
+    num_endpoints: int = 1_000,
+    backend: str = "fattree",
+    network_mode: str = "flow",
+    num_iterations: int = 2,
+) -> Scenario:
+    """One scale-family point: ``num_endpoints`` GPUs on ``backend``.
+
+    Defaults to flow mode — the whole point of the family is exercising the
+    flow simulator at fabric scale — but ``network_mode="analytic"`` gives
+    the alpha-beta reference for the same configuration.
+    """
+    return Scenario(
+        workload=scale_workload(num_endpoints),
+        cluster=scale_cluster(num_endpoints),
+        backend=backend,
+        knobs={"network_mode": network_mode},
+        num_iterations=num_iterations,
+        # Stage-aggregated FSDP: per-layer chains add DAG operations without
+        # changing steady-state traffic at this layer count.
+        dag_options=DagBuildOptions(per_layer_fsdp=False),
+        name=f"scale-{backend}-{num_endpoints}",
+    )
+
+
+def scale_scenario_grid(
+    endpoints: Sequence[int] = SCALE_ENDPOINTS,
+    backends: Sequence[str] = SCALE_BACKENDS,
+    network_mode: str = "flow",
+    num_iterations: int = 2,
+) -> List[Scenario]:
+    """The full scale family, ready for ``ExperimentRunner.run_many``."""
+    return [
+        scale_scenario(
+            num_endpoints=count,
+            backend=backend,
+            network_mode=network_mode,
+            num_iterations=num_iterations,
+        )
+        for count in endpoints
+        for backend in backends
+    ]
 
 
 @dataclass(frozen=True)

@@ -10,9 +10,8 @@ volume, which is all the photonic-rail analysis needs from the ML side.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 from ..errors import ConfigurationError
 

@@ -24,7 +24,7 @@ pattern.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -32,7 +32,6 @@ from ..collectives.primitives import CollectiveOp, CollectiveType
 from ..errors import ConfigurationError, DeadlockError
 from ..topology.devices import ClusterSpec
 from .config import WorkloadConfig
-from .groups import GroupRegistry
 from .mesh import DeviceMesh, MeshCoordinate
 from .pipeline import ActionKind, PipelinePhase, schedule_for
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Sequence
+from typing import List
 
 from ..errors import ConfigurationError
 

@@ -19,7 +19,7 @@ import csv
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from ..collectives.primitives import CollectiveType
 from ..errors import ConfigurationError, SimulationError

@@ -10,7 +10,7 @@ the 4-node Perlmutter testbed.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import ConfigurationError
 from ..topology.devices import ClusterSpec, perlmutter_testbed

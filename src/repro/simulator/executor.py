@@ -37,11 +37,10 @@ The executor supports two kinds of network models:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import DeadlockError, SimulationError
-from ..parallelism.config import WorkloadConfig
 from ..parallelism.dag import IterationDAG, OpKind, Operation
 from ..parallelism.mesh import DeviceMesh
 from ..parallelism.trace import (

@@ -37,10 +37,10 @@ alpha term.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from ..collectives.primitives import CollectiveType
-from ..collectives.schedule import Schedule, Transfer, expand
+from ..collectives.schedule import Schedule, Transfer, expand_cached
 from ..errors import SimulationError, TopologyError
 from ..parallelism.dag import Operation
 from ..parallelism.mesh import DeviceMesh
@@ -53,7 +53,7 @@ from ..topology.ocs import Circuit
 from ..topology.photonic import PhotonicRailFabric, build_photonic_rail_fabric
 from ..topology.railopt import build_rail_optimized_fabric
 from .fabric_network import TopologyNetworkModel
-from .flows import Flow, FlowSimulator
+from .flows import FlowSimulator
 from .network import CommTiming
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
@@ -106,21 +106,24 @@ class _InFlightCollective:
 
     Launches one step at a time: when the last flow of step ``k`` completes,
     step ``k+1`` is injected after the per-step software overhead (the alpha
-    term's launch cost).  When the final step drains, the owner's completion
-    callback fires with the collective's end time.
+    term's launch cost).  Each step is injected through the simulator's bulk
+    interface — one engine event and one completion callback for the whole
+    step.  When the final step drains, the owner's completion callback fires
+    with the collective's end time.
     """
+
+    __slots__ = ("_model", "_steps", "_on_complete", "_step_index", "_step_end")
 
     def __init__(
         self,
         model: "FlowNetworkModel",
-        steps: Schedule,
+        steps: List[List[Tuple[object, float]]],
         on_complete: CompletionCallback,
     ) -> None:
         self._model = model
         self._steps = steps
         self._on_complete = on_complete
         self._step_index = -1
-        self._outstanding = 0
         self._step_end = 0.0
 
     def launch(self, start_time: float) -> None:
@@ -133,30 +136,20 @@ class _InFlightCollective:
         if self._step_index >= len(self._steps):
             self._on_complete(self._step_end)
             return
-        transfers = self._steps[self._step_index].transfers
-        self._outstanding = len(transfers)
         launch_at = ready_time + self._model.per_step_overhead
-        for transfer in transfers:
-            # Deferred path resolution: on circuit fabrics the route only
-            # exists once the switching event completes, which is the flow's
-            # start instant, not this scheduling instant.
-            self._model.simulator.add_flow(
-                self._model.transfer_path(transfer),
-                transfer.size_bytes,
-                start_time=launch_at,
-                on_complete=self._flow_done,
-            )
+        # On circuit fabrics the items carry resolvers called at the flow's
+        # start instant (the circuits only exist by then); static packet
+        # fabrics carry the concrete route-table entries directly.  Either
+        # way the per-step item lists are built once per schedule and reused
+        # across steps, iterations, and collectives with the same shape.
+        self._model.simulator.add_flows(
+            self._steps[self._step_index], launch_at, self._step_done
+        )
 
-    def _flow_done(self, flow: Flow) -> None:
-        self._outstanding -= 1
-        if flow.finish_time is None:
-            raise SimulationError(
-                f"flow {flow.flow_id} reported completion without a finish time"
-            )
-        if flow.finish_time > self._step_end:
-            self._step_end = flow.finish_time
-        if self._outstanding == 0:
-            self._advance(self._step_end)
+    def _step_done(self, end: float) -> None:
+        if end > self._step_end:
+            self._step_end = end
+        self._advance(self._step_end)
 
 
 class FlowNetworkModel(TopologyNetworkModel):
@@ -178,6 +171,16 @@ class FlowNetworkModel(TopologyNetworkModel):
     #: Marks this model as driving the executor's flow-mode scheduling loop.
     flow_mode = True
 
+    #: Whether routes are handed to the simulator as deferred resolvers
+    #: (circuit fabrics, where the route only exists once the switching event
+    #: completes) or as concrete route-table entries (static packet fabrics).
+    deferred_routes = False
+
+    #: A source with at least this many unresolved destinations in one
+    #: collective schedule is routed with a single multi-target BFS instead
+    #: of per-pair shortest-path calls (the AllToAll pattern).
+    _MULTI_TARGET_MIN = 4
+
     def __init__(
         self,
         cluster: ClusterSpec,
@@ -192,9 +195,9 @@ class FlowNetworkModel(TopologyNetworkModel):
         #: Topology version the path cache was built at; a mismatch (circuits
         #: installed or torn since) drops every cached route.
         self._paths_version = topology.version
-        #: Expanded step schedules keyed by collective op id — the DAG reuses
-        #: the same CollectiveOp across iterations, and expand() is pure.
-        self._schedules: Dict[int, Schedule] = {}
+        #: Per-schedule flow-item lists (route/resolver + size per transfer),
+        #: keyed by schedule identity; rebuilt when the route table drops.
+        self._step_items: Dict[int, Tuple[Schedule, List[List[Tuple[object, float]]]]] = {}
 
     # ------------------------------------------------------------------ #
     # Flow-mode interface
@@ -256,9 +259,53 @@ class FlowNetworkModel(TopologyNetworkModel):
             self._pair_paths[key] = path
         return path
 
-    def transfer_path(self, transfer: Transfer) -> Callable[[], Tuple[Link, ...]]:
-        """Deferred route of one expanded transfer, resolved at flow start."""
-        return lambda: self.path_between(transfer.src, transfer.dst)
+    def transfer_path(
+        self, transfer: Transfer
+    ) -> Union[Tuple[Link, ...], Callable[[], Tuple[Link, ...]]]:
+        """Route of one expanded transfer.
+
+        Static packet fabrics return the concrete route-table entry; circuit
+        fabrics (``deferred_routes``) return a resolver called at the flow's
+        start instant, when the circuits actually exist.
+        """
+        if self.deferred_routes:
+            return lambda: self.path_between(transfer.src, transfer.dst)
+        return self.path_between(transfer.src, transfer.dst)
+
+    def _prefetch_routes(self, steps: Schedule) -> None:
+        """Fill the route table for a schedule's unresolved (src, dst) pairs.
+
+        Sources that talk to many destinations across the schedule (the
+        AllToAll pattern) are resolved with one early-terminating multi-target
+        BFS instead of one shortest-path call per pair; ring-style sources
+        (one or two destinations) stay on the per-pair path, which explores
+        far less of the graph.
+        """
+        version = self.topology.version
+        if version != self._paths_version:
+            self._pair_paths.clear()
+            self._step_items.clear()  # item lists embed concrete routes
+            self._paths_version = version
+        cache = self._pair_paths
+        by_src: Dict[int, Set[int]] = {}
+        for step in steps:
+            for transfer in step.transfers:
+                if (transfer.src, transfer.dst) not in cache:
+                    by_src.setdefault(transfer.src, set()).add(transfer.dst)
+        for src, dsts in by_src.items():
+            if len(dsts) < self._MULTI_TARGET_MIN:
+                continue  # per-pair resolution explores less of the graph
+            node_to_rank = {
+                gpu_node_name(self.mesh.gpu_of(dst)): dst for dst in dsts
+            }
+            found = self.topology.paths_from(
+                gpu_node_name(self.mesh.gpu_of(src)), node_to_rank
+            )
+            for node, path in found.items():
+                cache[(src, node_to_rank[node])] = tuple(path)
+        # Pairs still missing (few-destination sources, unreachable targets)
+        # resolve lazily through path_between, which also raises the proper
+        # SimulationError for genuinely unroutable pairs.
 
     def begin_comm(
         self,
@@ -273,7 +320,35 @@ class FlowNetworkModel(TopologyNetworkModel):
         drains.
         """
         steps = self._expanded_schedule(operation)
-        _InFlightCollective(self, steps, on_complete).launch(start_time)
+        if not self.deferred_routes:
+            self._prefetch_routes(steps)
+        items = self.step_items(steps)
+        _InFlightCollective(self, items, on_complete).launch(start_time)
+
+    def step_items(
+        self, steps: Schedule
+    ) -> List[List[Tuple[object, float]]]:
+        """Per-step ``(route, size)`` item lists for a schedule, memoized.
+
+        Built once per schedule object and reused across steps, iterations,
+        and repeated collectives: route resolution (or resolver construction,
+        on circuit fabrics) happens once instead of once per flow injection.
+        Entries hold a reference to their schedule so the ``id`` key stays
+        valid for the cache's lifetime.
+        """
+        key = id(steps)
+        cached = self._step_items.get(key)
+        if cached is not None and cached[0] is steps:
+            return cached[1]
+        transfer_path = self.transfer_path
+        items = [
+            [(transfer_path(t), t.size_bytes) for t in step.transfers]
+            for step in steps
+        ]
+        if len(self._step_items) >= 1024:
+            self._step_items.clear()
+        self._step_items[key] = (steps, items)
+        return items
 
     def pop_reconfig_records(self, op_id: int) -> Tuple[ReconfigRecord, ...]:
         """Reconfigurations performed on behalf of collective ``op_id``.
@@ -288,11 +363,9 @@ class FlowNetworkModel(TopologyNetworkModel):
             raise SimulationError(
                 f"operation {operation.op_id} has no collective to expand"
             )
-        steps = self._schedules.get(operation.collective.op_id)
-        if steps is None:
-            steps = expand(operation.collective)
-            self._schedules[operation.collective.op_id] = steps
-        return steps
+        # Shared across models and iterations: expansions are pure functions
+        # of (collective type, group, size), which is the cache key.
+        return expand_cached(operation.collective)
 
     @property
     def next_event_time(self) -> Optional[float]:
@@ -330,6 +403,9 @@ class PhotonicFlowNetworkModel(FlowNetworkModel):
     ``coalesce_axis=False`` the same model serves as the flow-level twin of
     the bare-OCS backend: every group reconfigures on demand.
     """
+
+    #: Routes resolve at flow start, over whatever circuits exist by then.
+    deferred_routes = True
 
     def __init__(
         self,
@@ -428,7 +504,7 @@ class PhotonicFlowNetworkModel(FlowNetworkModel):
             on_complete(end)
 
         steps = self._expanded_schedule(operation)
-        _InFlightCollective(self, steps, _finished).launch(launch_at)
+        _InFlightCollective(self, self.step_items(steps), _finished).launch(launch_at)
 
     def pop_reconfig_records(self, op_id: int) -> Tuple[ReconfigRecord, ...]:
         records = self._op_records.pop(op_id, None)

@@ -21,8 +21,8 @@ and optical rails (§4.2).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from ..collectives.cost_model import LinkParameters, RingCostModel, TreeCostModel
 from ..errors import ConfigurationError
@@ -65,15 +65,25 @@ class NetworkModel(ABC):
         )
         self._ring = RingCostModel()
         self._tree = TreeCostModel()
+        self._scaleout_groups: dict = {}
 
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
 
     def is_scaleout(self, operation: Operation) -> bool:
-        """Whether the operation's group spans more than one scale-up domain."""
+        """Whether the operation's group spans more than one scale-up domain.
+
+        Memoized per group: the executor asks on every scheduling pass, and
+        group membership is immutable for the lifetime of a mesh.
+        """
         assert operation.collective is not None
-        return self.mesh.is_scaleout_group(operation.collective.group)
+        group = operation.collective.group
+        cached = self._scaleout_groups.get(group)
+        if cached is None:
+            cached = self.mesh.is_scaleout_group(group)
+            self._scaleout_groups[group] = cached
+        return cached
 
     def transfer_duration(self, operation: Operation) -> float:
         """Duration of the data transfer itself (excluding circuit waits)."""

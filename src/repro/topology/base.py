@@ -86,6 +86,10 @@ class Link:
     latency: float
     kind: LinkKind
     link_id: int = -1
+    #: A hashable identity for the link, precomputed because the flow-level
+    #: simulator reads it on every allocation pass (``src``, ``dst`` and
+    #: ``link_id`` are fixed at construction).
+    key: Tuple[str, str, int] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -96,11 +100,7 @@ class Link:
             raise TopologyError(
                 f"link {self.src}->{self.dst} must have non-negative latency"
             )
-
-    @property
-    def key(self) -> Tuple[str, str, int]:
-        """A hashable identity for the link."""
-        return (self.src, self.dst, self.link_id)
+        self.key = (self.src, self.dst, self.link_id)
 
 
 class Topology:
@@ -113,6 +113,13 @@ class Topology:
         self._graph = nx.MultiDiGraph()
         self._link_counter = itertools.count()
         self._version = 0
+        #: Flattened routing adjacency (node -> [(neighbor, link), ...]) with
+        #: parallel links pre-resolved to min link_id; rebuilt lazily when
+        #: the version moves.  A whole-fabric BFS visits every edge, so the
+        #: per-edge cost of the multigraph's nested dicts dominates at 10k
+        #: endpoints without this.
+        self._routing_adjacency: Optional[Dict[str, List[Tuple[str, Link]]]] = None
+        self._routing_adjacency_version = -1
 
     @property
     def version(self) -> int:
@@ -267,23 +274,155 @@ class Topology:
     def shortest_path(self, src: str, dst: str) -> List[Link]:
         """Return one minimum-hop path from ``src`` to ``dst`` as a link list.
 
-        Ties are broken deterministically by node name order.  Raises
-        :class:`TopologyError` if no path exists.
+        Ties are broken deterministically: the bidirectional search visits
+        neighbors in adjacency insertion order (matching networkx), and
+        parallel links between one node pair resolve to the smallest
+        ``link_id``.  Raises :class:`TopologyError` if no path exists.
+
+        The search runs directly over the graph's raw successor/predecessor
+        dicts — it is on the route-resolution hot path of the flow-level
+        simulator, where the networkx view wrappers would dominate.
         """
         self._require_node(src)
         self._require_node(dst)
         if src == dst:
             return []
-        try:
-            node_path = nx.shortest_path(self._graph, src, dst)
-        except nx.NetworkXNoPath as exc:
-            raise TopologyError(f"no path from {src!r} to {dst!r}") from exc
+        graph_succ = self._graph._succ
+        graph_pred = self._graph._pred
+        # Bidirectional BFS, same expansion policy as networkx's
+        # bidirectional_shortest_path so route choice is unchanged.
+        pred: Dict[str, Optional[str]] = {src: None}
+        succ: Dict[str, Optional[str]] = {dst: None}
+        forward_fringe = [src]
+        reverse_fringe = [dst]
+        meet: Optional[str] = None
+        while forward_fringe and reverse_fringe and meet is None:
+            if len(forward_fringe) <= len(reverse_fringe):
+                this_level = forward_fringe
+                forward_fringe = []
+                for node in this_level:
+                    for neighbor in graph_succ[node]:
+                        if neighbor not in pred:
+                            forward_fringe.append(neighbor)
+                            pred[neighbor] = node
+                        if neighbor in succ:
+                            meet = neighbor
+                            break
+                    if meet is not None:
+                        break
+            else:
+                this_level = reverse_fringe
+                reverse_fringe = []
+                for node in this_level:
+                    for neighbor in graph_pred[node]:
+                        if neighbor not in succ:
+                            succ[neighbor] = node
+                            reverse_fringe.append(neighbor)
+                        if neighbor in pred:
+                            meet = neighbor
+                            break
+                    if meet is not None:
+                        break
+        if meet is None:
+            raise TopologyError(f"no path from {src!r} to {dst!r}")
+        node_path: List[str] = []
+        cursor: Optional[str] = meet
+        while cursor is not None:
+            node_path.append(cursor)
+            cursor = pred[cursor]
+        node_path.reverse()
+        cursor = succ[meet]
+        while cursor is not None:
+            node_path.append(cursor)
+            cursor = succ[cursor]
+        adjacency = self._graph._adj
         links: List[Link] = []
         for hop_src, hop_dst in zip(node_path, node_path[1:]):
-            candidates = self.links_between(hop_src, hop_dst)
-            candidates.sort(key=lambda link: link.link_id)
-            links.append(candidates[0])
+            edges = adjacency[hop_src][hop_dst]
+            if len(edges) == 1:
+                (data,) = edges.values()
+            else:
+                data = edges[min(edges)]
+            links.append(data["link"])
         return links
+
+    def paths_from(
+        self, src: str, dsts: Optional[Iterable[str]] = None
+    ) -> Dict[str, List[Link]]:
+        """Minimum-hop routes from ``src`` to many destinations in one BFS.
+
+        Returns a mapping of destination node name to link path for every
+        requested destination that is reachable (all reachable nodes when
+        ``dsts`` is ``None``); unreachable destinations are simply absent, so
+        callers decide whether that is an error.  The search terminates as
+        soon as every requested destination has been settled, and parallel
+        links between a node pair are broken by minimum ``link_id`` exactly
+        like :meth:`shortest_path`.  This is the bulk primitive behind the
+        network models' route tables: resolving a source's entire destination
+        set (e.g. one AllToAll participant's ``n - 1`` peers) costs one
+        traversal instead of ``n - 1``.
+        """
+        self._require_node(src)
+        targets: Optional[set] = None
+        result: Dict[str, List[Link]] = {}
+        if dsts is not None:
+            targets = set(dsts)
+            if src in targets:
+                result[src] = []
+                targets.discard(src)
+            if not targets:
+                return result
+        adjacency = self._routing_lists()
+        parent: Dict[str, Tuple[str, Link]] = {src: ("", None)}  # type: ignore[dict-item]
+        frontier = [src]
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                for neighbor, link in adjacency[node]:
+                    if neighbor in parent:
+                        continue
+                    parent[neighbor] = (node, link)
+                    next_frontier.append(neighbor)
+                    if targets is not None:
+                        targets.discard(neighbor)
+            if targets is not None and not targets:
+                break
+            frontier = next_frontier
+        wanted = (
+            (name for name in parent if name != src)
+            if dsts is None
+            else (name for name in dsts if name in parent and name != src)
+        )
+        for name in wanted:
+            path: List[Link] = []
+            node = name
+            while node != src:
+                node, link = parent[node]
+                path.append(link)
+            path.reverse()
+            result[name] = path
+        return result
+
+    def _routing_lists(self) -> Dict[str, List[Tuple[str, Link]]]:
+        """The flattened, version-cached adjacency used by route searches."""
+        if (
+            self._routing_adjacency is None
+            or self._routing_adjacency_version != self._version
+        ):
+            adjacency: Dict[str, List[Tuple[str, Link]]] = {
+                name: [] for name in self._nodes
+            }
+            for node, neighbors in self._graph._adj.items():
+                out = adjacency[node]
+                for neighbor, edges in neighbors.items():
+                    if len(edges) == 1:
+                        (data,) = edges.values()
+                    else:
+                        data = edges[min(edges)]
+                    out.append((neighbor, data["link"]))
+            self._routing_adjacency = adjacency
+            self._routing_adjacency_version = self._version
+        return self._routing_adjacency
 
     def path_latency(self, path: Sequence[Link]) -> float:
         """Sum of link latencies along ``path``."""

@@ -14,7 +14,7 @@ fabric needs), and the constants here only set the scale of the y-axis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..errors import ConfigurationError

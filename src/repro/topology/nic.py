@@ -17,7 +17,7 @@ by the examples, the ablation benchmarks, and the feasibility checks in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from ..errors import ConfigurationError

@@ -15,8 +15,8 @@ reconfigurations against these objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..errors import CircuitConflictError, CircuitError
 from .devices import OCSTechnology, PIEZO_POLATIS
@@ -45,6 +45,13 @@ class Circuit:
             low, high = self.port_b, self.port_a
             object.__setattr__(self, "port_a", low)
             object.__setattr__(self, "port_b", high)
+        # Precomputed hash: circuits are dictionary keys all over the control
+        # plane (installed sets, busy maps, per-circuit flow loads), and the
+        # generated dataclass hash re-tuples the ports on every lookup.
+        object.__setattr__(self, "_hash", hash((self.port_a, self.port_b)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def ports(self) -> Tuple[int, int]:

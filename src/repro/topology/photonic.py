@@ -22,7 +22,6 @@ The fabric exposes:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -31,13 +30,12 @@ from .base import (
     LinkKind,
     NodeKind,
     Topology,
-    gpu_node_name,
     nic_port_node_name,
     ocs_node_name,
 )
 from .devices import ClusterSpec, OCSTechnology
 from .ocs import Circuit, CircuitConfiguration, OpticalCircuitSwitch
-from .railopt import FabricInventory, add_host_ports, _host_latency
+from .railopt import FabricInventory, add_host_ports
 from .scaleup import add_scaleup_domains
 
 

@@ -21,9 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
 
-from ..errors import TopologyError
 from .base import (
     LinkKind,
     NodeKind,

@@ -1,0 +1,328 @@
+"""Cache coverage: route tables, collective-expansion memo, bulk flow batches.
+
+The scaling work leans on three caches, each of which can silently corrupt a
+simulation if it over-lives its inputs:
+
+* the per-pair route table and per-schedule flow-item lists, keyed on the
+  topology ``version`` (circuit fabrics mutate connectivity mid-run);
+* the collective-expansion memo, keyed on ``(collective, group, size)`` so
+  same-shape collectives share one schedule and different groups never
+  collide;
+* the allocator dispatch (python / numpy / component decomposition), which
+  must agree with the reference progressive-filling algorithm bit-for-bit.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.collectives.primitives import CollectiveOp, CollectiveType
+from repro.collectives.schedule import (
+    expand,
+    expand_cached,
+    expansion_cache_clear,
+)
+from repro.errors import SimulationError
+from repro.parallelism.config import ParallelismConfig
+from repro.parallelism.mesh import DeviceMesh
+from repro.simulator.flow_network import FlowNetworkModel
+from repro.simulator.flows import (
+    FlowSimulator,
+    _max_min_fair_rates_numpy,
+    _max_min_fair_rates_python,
+    max_min_fair_rates,
+)
+from repro.topology.base import Link, LinkKind, NodeKind, Topology, gpu_node_name
+from repro.topology.photonic import build_photonic_rail_fabric
+
+
+# --------------------------------------------------------------------------- #
+# Multi-target BFS route tables
+# --------------------------------------------------------------------------- #
+
+
+def test_paths_from_matches_shortest_path_on_a_real_fabric(tiny_cluster):
+    from repro.topology.electrical import build_fully_connected_rail_topology
+
+    topology = build_fully_connected_rail_topology(tiny_cluster)
+    gpus = [gpu_node_name(gpu) for gpu in range(tiny_cluster.num_gpus)]
+    for src in gpus:
+        table = topology.paths_from(src, gpus)
+        for dst in gpus:
+            assert table[dst] == topology.shortest_path(src, dst)
+
+
+def test_paths_from_omits_unreachable_destinations():
+    topology = Topology(name="split")
+    for name in ("a", "b", "island"):
+        topology.add_node(name, NodeKind.GPU)
+    topology.add_link("a", "b", bandwidth=1e9, latency=0.0, kind=LinkKind.HOST)
+    table = topology.paths_from("a", ["b", "island", "a"])
+    assert [link.dst for link in table["b"]] == ["b"]
+    assert table["a"] == []  # source maps to the empty path
+    assert "island" not in table
+
+
+def test_route_table_and_step_items_invalidate_on_version_bump(tiny_cluster):
+    """Mutating a circuit mid-run must refresh routes *and* flow-item lists."""
+    fabric = build_photonic_rail_fabric(tiny_cluster)
+    mesh = DeviceMesh(ParallelismConfig(tp=4, dp=2), tiny_cluster)
+    model = FlowNetworkModel(tiny_cluster, mesh, fabric.topology)
+
+    rail = fabric.rail(0)
+    fabric.apply_configuration(0, rail.pairwise_configuration([(0, 1)]))
+    op = CollectiveOp(
+        collective=CollectiveType.SEND_RECV,
+        group=(0, 4),
+        size_bytes=1e6,
+        parallelism="pp",
+    )
+    steps = expand(op)
+    model._prefetch_routes(steps)
+    items = model.step_items(steps)
+    path = model.path_between(0, 4)
+    assert any(link.kind == LinkKind.OPTICAL_CIRCUIT for link in path)
+    # Same version: identical objects come back (the caches are hit).
+    assert model.step_items(steps) is items
+    assert model.path_between(0, 4) is path
+
+    # Tear the circuit down and install it again: the version advances, the
+    # stale routes (which embed torn Link objects) must all be dropped.
+    fabric.clear_rail(0)
+    fabric.apply_configuration(0, rail.pairwise_configuration([(0, 1)]))
+    model._prefetch_routes(steps)
+    fresh_items = model.step_items(steps)
+    fresh_path = model.path_between(0, 4)
+    assert fresh_items is not items
+    assert fresh_path is not path
+    assert all(fabric.topology.has_link(link.link_id) for link in fresh_path)
+
+
+# --------------------------------------------------------------------------- #
+# Collective-expansion memo
+# --------------------------------------------------------------------------- #
+
+
+def _collective(collective, group, size, tag=""):
+    return CollectiveOp(
+        collective=collective,
+        group=group,
+        size_bytes=size,
+        parallelism="dp",
+        tag=tag,
+    )
+
+
+def test_expansion_cache_matches_uncached_and_is_shared():
+    expansion_cache_clear()
+    op = _collective(CollectiveType.ALL_REDUCE, (0, 1, 2, 3), 4096.0)
+    cached = expand_cached(op)
+    assert cached == expand(op)
+    # A same-shape collective with a different tag / object identity shares
+    # the schedule object outright.
+    twin = _collective(CollectiveType.ALL_REDUCE, (0, 1, 2, 3), 4096.0, tag="other")
+    assert expand_cached(twin) is cached
+
+
+def test_expansion_cache_does_not_collide_across_groups_sizes_or_types():
+    expansion_cache_clear()
+    base = _collective(CollectiveType.ALL_GATHER, (0, 1, 2), 1024.0)
+    other_group = _collective(CollectiveType.ALL_GATHER, (4, 5, 6), 1024.0)
+    other_size = _collective(CollectiveType.ALL_GATHER, (0, 1, 2), 2048.0)
+    other_type = _collective(CollectiveType.REDUCE_SCATTER, (0, 1, 2), 1024.0)
+    schedules = [expand_cached(op) for op in (base, other_group, other_size, other_type)]
+    assert len({id(schedule) for schedule in schedules}) == 4
+    for op, schedule in zip((base, other_group, other_size, other_type), schedules):
+        assert schedule == expand(op)
+
+
+# --------------------------------------------------------------------------- #
+# Allocator dispatch: python / numpy / decomposition agreement
+# --------------------------------------------------------------------------- #
+
+
+def _random_flows(rng, num_links, num_flows):
+    from repro.simulator.flows import Flow
+
+    links = [
+        Link(
+            src=f"n{i}",
+            dst=f"n{i + 1}",
+            bandwidth=rng.choice([10.0, 40.0, 100.0, 400.0]),
+            latency=0.0,
+            kind=LinkKind.ELECTRICAL,
+            link_id=i,
+        )
+        for i in range(num_links)
+    ]
+    return [
+        Flow(
+            flow_id=i,
+            path=tuple(rng.sample(links, rng.randint(1, min(4, num_links)))),
+            size_bytes=1.0,
+            start_time=0.0,
+        )
+        for i in range(num_flows)
+    ]
+
+
+def test_vectorized_allocator_agrees_with_python_on_large_random_networks():
+    rng = random.Random(11)
+    for _ in range(10):
+        flows = _random_flows(rng, num_links=rng.randint(4, 40), num_flows=200)
+        reference = _max_min_fair_rates_python(flows, None)
+        vectorized = _max_min_fair_rates_numpy(flows, None)
+        dispatched = max_min_fair_rates(flows)
+        assert reference.keys() == vectorized.keys() == dispatched.keys()
+        for flow_id in reference:
+            assert vectorized[flow_id] == pytest.approx(reference[flow_id])
+            assert dispatched[flow_id] == pytest.approx(reference[flow_id])
+
+
+def test_component_decomposition_handles_disjoint_fan_workloads():
+    # 8 independent single-link components with distinct fair shares: the
+    # decomposed solve must equal the joint progressive filling.
+    from repro.simulator.flows import Flow
+
+    flows = []
+    for component in range(8):
+        link = Link(
+            src=f"c{component}",
+            dst=f"c{component}x",
+            bandwidth=100.0 * (component + 1),
+            latency=0.0,
+            kind=LinkKind.ELECTRICAL,
+            link_id=component,
+        )
+        for member in range(12):
+            flows.append(
+                Flow(
+                    flow_id=component * 12 + member,
+                    path=(link,),
+                    size_bytes=1.0,
+                    start_time=0.0,
+                )
+            )
+    rates = max_min_fair_rates(flows)
+    for component in range(8):
+        expected = 100.0 * (component + 1) / 12
+        for member in range(12):
+            assert rates[component * 12 + member] == pytest.approx(expected)
+
+
+# --------------------------------------------------------------------------- #
+# Bulk flow batches (add_flows)
+# --------------------------------------------------------------------------- #
+
+
+def _link(link_id, bandwidth=100.0, latency=0.0):
+    return Link(
+        src=f"s{link_id}",
+        dst=f"d{link_id}",
+        bandwidth=bandwidth,
+        latency=latency,
+        kind=LinkKind.ELECTRICAL,
+        link_id=link_id,
+    )
+
+
+def test_add_flows_fires_one_callback_with_the_last_finish_time():
+    sim = FlowSimulator()
+    ends = []
+    sim.add_flows(
+        [
+            ((_link(0),), 1000.0),  # drains at t=10
+            ((_link(1),), 500.0),  # drains at t=5
+        ],
+        start_time=0.0,
+        on_complete=ends.append,
+    )
+    sim.run()
+    assert ends == [pytest.approx(10.0)]
+
+
+def test_add_flows_batch_members_share_links_fairly():
+    sim = FlowSimulator()
+    shared = _link(0)
+    ends = []
+    flows = sim.add_flows(
+        [((shared,), 500.0), ((shared,), 500.0)],
+        start_time=0.0,
+        on_complete=ends.append,
+    )
+    sim.run()
+    # Both flows split the 100 B/s link: 50 B/s each, done at t=10.
+    assert ends == [pytest.approx(10.0)]
+    assert all(flow.finish_time == pytest.approx(10.0) for flow in flows)
+
+
+def test_add_flows_interacts_with_later_external_arrivals():
+    # A solo batch's flow must still be visible to a flow arriving later on
+    # the same link (the registry survives the batch fast paths).
+    sim = FlowSimulator()
+    shared = _link(0)
+    batch = sim.add_flows([((shared,), 1000.0)], start_time=0.0, on_complete=lambda end: None)
+    late = sim.add_flow((shared,), 500.0, start_time=5.0)
+    sim.run()
+    assert batch[0].finish_time == pytest.approx(15.0)
+    assert late.finish_time == pytest.approx(15.0)
+
+
+def test_repeated_identical_batches_replay_the_same_rates():
+    # The isolated-batch memo must replay, not corrupt, repeated injections
+    # of the same (cached) item list — the per-step pattern of a collective.
+    sim = FlowSimulator()
+    shared = _link(0, bandwidth=100.0)
+    items = [((shared,), 300.0), ((shared,), 300.0)]
+    ends = []
+    sim.add_flows(items, start_time=0.0, on_complete=ends.append)
+    sim.run()
+    sim.add_flows(items, start_time=ends[0], on_complete=ends.append)
+    sim.run()
+    # Each batch: two flows at 50 B/s drain 300 B in 6 s.
+    assert ends == [pytest.approx(6.0), pytest.approx(12.0)]
+
+
+def test_negative_size_in_bulk_items_is_rejected():
+    sim = FlowSimulator()
+    with pytest.raises(SimulationError):
+        sim.add_flows([((_link(0),), -1.0)], 0.0, on_complete=lambda end: None)
+
+
+def test_zero_size_members_complete_without_stalling_the_group():
+    sim = FlowSimulator()
+    ends = []
+    sim.add_flows(
+        [((_link(0, latency=0.25),), 0.0), ((_link(1),), 100.0)],
+        start_time=1.0,
+        on_complete=ends.append,
+    )
+    sim.run()
+    # Zero-size member contributes its latency-only finish (1.25); the real
+    # transfer finishes at t=2; the group reports the max.
+    assert ends == [pytest.approx(2.0)]
+
+
+def test_infinite_component_rates_do_not_break_the_heap():
+    # Empty-path member (infinite rate) inside a batch with a constrained
+    # member: both complete, callback carries the constrained finish.
+    sim = FlowSimulator()
+    ends = []
+    sim.add_flows(
+        [((), 64.0), ((_link(0),), 100.0)], start_time=0.0, on_complete=ends.append
+    )
+    sim.run()
+    assert ends == [pytest.approx(1.0)]
+
+
+def test_allocator_rejects_nan_free_masked_infinities():
+    # All-unconstrained flow sets (infinite capacity) must allocate inf
+    # without emitting NaNs through the numpy path.
+    from repro.simulator.flows import Flow
+
+    flows = [
+        Flow(flow_id=i, path=(), size_bytes=1.0, start_time=0.0) for i in range(64)
+    ]
+    rates = max_min_fair_rates(flows)
+    assert all(math.isinf(rate) for rate in rates.values())

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CircuitConflictError, CircuitError, TopologyError
+from repro.errors import CircuitConflictError, CircuitError
 from repro.topology.base import NodeKind, nic_port_node_name
 from repro.topology.devices import dgx_h200_cluster, perlmutter_testbed
 from repro.topology.fattree import build_fat_tree_fabric, fat_tree_inventory
