@@ -29,12 +29,29 @@ from dataclasses import replace
 
 from repro.experiments.runner import Scenario, run_scenario
 from repro.parallelism.workloads import small_test_workload
+from repro.simulator.faults import FaultEvent, FaultKind, FaultPlan
 from repro.topology.devices import perlmutter_testbed
 
 #: Fabrics benchmarked in both modes.  Photonic exercises the
 #: circuit-switched path (Opus gating + deferred routes); the packet fabrics
-#: exercise pure max–min fair sharing.
-FABRICS = ("electrical", "fattree", "photonic")
+#: exercise pure max–min fair sharing.  The ``fattree-faulted`` variant runs
+#: the same fat-tree scenario under a fault plan (whole fabric degraded 10%
+#: plus one NIC attachment down), so the fault path — deferred routes,
+#: mid-run reallocation, reroute-on-failure — is perf-gated too.
+FABRICS = ("electrical", "fattree", "photonic", "fattree-faulted")
+
+#: The fault plan behind the ``fattree-faulted`` benchmark variant.
+FAULT_PLAN = FaultPlan(
+    events=(
+        FaultEvent(
+            time=0.0,
+            kind=FaultKind.LINK_DEGRADE,
+            link_kind="electrical",
+            fraction=0.9,
+        ),
+        FaultEvent(time=0.0, kind=FaultKind.LINK_FAIL, src="gpu0", dst="gpu0.nic*"),
+    )
+)
 
 #: Default sweep: up to 32 nodes (128 GPUs), where the flow-mode scaling work
 #: (vectorized water-filling, component-local reallocation, route tables,
@@ -47,11 +64,15 @@ def build_scenario(fabric: str, num_nodes: int, network_mode: str) -> Scenario:
     # DP spans every node; 2-port NICs let the photonic planner build rings
     # over more than two scale-up domains (constraint C1/C3).
     cluster = replace(perlmutter_testbed(num_nodes=num_nodes), nic_ports_per_gpu=2)
+    backend, _, variant = fabric.partition("-")
+    knobs: dict = {"network_mode": network_mode}
+    if variant == "faulted":
+        knobs["faults"] = FAULT_PLAN
     return Scenario(
         workload=small_test_workload(pp=1, dp=num_nodes, tp=4),
         cluster=cluster,
-        backend=fabric,
-        knobs={"network_mode": network_mode},
+        backend=backend,
+        knobs=knobs,
         num_iterations=NUM_ITERATIONS,
         name=f"bench-{fabric}-{num_nodes}",
     )

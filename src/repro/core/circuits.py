@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..collectives.primitives import CollectiveOp, CollectiveType
-from ..errors import CircuitConflictError, ControlPlaneError
+from ..errors import CircuitConflictError, CircuitError, ControlPlaneError
 from ..parallelism.groups import GroupRegistry
 from ..parallelism.mesh import DeviceMesh
 from ..topology.ocs import Circuit, CircuitConfiguration
@@ -109,14 +109,30 @@ class CircuitPlanner:
     def _rail_circuits(
         self, rail: int, domains: Sequence[int], chain: bool
     ) -> CircuitConfiguration:
+        # Endpoint choice goes through the rail's healthy-port helpers:
+        # failed OCS ports are permanently conflicting (fault injection), so
+        # rings and pairs route through each domain's surviving NIC ports
+        # and only raise when no healthy assignment exists.
         photonic_rail = self.fabric.rail(rail)
         unique = list(dict.fromkeys(domains))
         if len(unique) < 2:
             return CircuitConfiguration(())
         if len(unique) == 2:
-            circuit = photonic_rail.circuit_between(
-                RailEndpoint(unique[0], 0), RailEndpoint(unique[1], 0)
-            )
+            try:
+                circuit = photonic_rail.circuit_between(
+                    RailEndpoint(
+                        unique[0], photonic_rail.healthy_port(unique[0], 0)
+                    ),
+                    RailEndpoint(
+                        unique[1], photonic_rail.healthy_port(unique[1], 0)
+                    ),
+                )
+            except CircuitError as exc:
+                raise ControlPlaneError(
+                    f"rail {rail}: cannot route a circuit between domains "
+                    f"{unique[0]} and {unique[1]} around failed OCS ports: "
+                    f"{exc}"
+                ) from exc
             return CircuitConfiguration((circuit,))
         if self.ports_per_gpu < 2:
             raise ControlPlaneError(
@@ -124,6 +140,16 @@ class CircuitPlanner:
                 f"GPU for a ring/chain on rail {rail}, but the NIC is in "
                 f"{self.ports_per_gpu}-port configuration (constraints C1/C3)"
             )
+        try:
+            ports = {
+                domain: photonic_rail.healthy_port_pair(domain, (0, 1))
+                for domain in unique
+            }
+        except CircuitError as exc:
+            raise ControlPlaneError(
+                f"rail {rail}: cannot route a ring over domains {unique} "
+                f"around failed OCS ports: {exc}"
+            ) from exc
         circuits: List[Circuit] = []
         last = len(unique) - 1
         for index, domain in enumerate(unique):
@@ -132,7 +158,8 @@ class CircuitPlanner:
             next_domain = unique[(index + 1) % len(unique)]
             circuits.append(
                 photonic_rail.circuit_between(
-                    RailEndpoint(domain, 1), RailEndpoint(next_domain, 0)
+                    RailEndpoint(domain, ports[domain][1]),
+                    RailEndpoint(next_domain, ports[next_domain][0]),
                 )
             )
         return CircuitConfiguration(circuits)

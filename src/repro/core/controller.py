@@ -21,9 +21,9 @@ provisioning hides the switching delay inside the inter-phase window (Fig. 5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..errors import CircuitError, ControlPlaneError
+from ..errors import CircuitError, ControlPlaneError, FaultError
 from ..parallelism.trace import ReconfigRecord
 from ..topology.ocs import Circuit, CircuitConfiguration
 from ..topology.photonic import PhotonicRailFabric
@@ -48,6 +48,10 @@ class RailCircuitState:
     #: conflict checks are port lookups, not scans over every installed
     #: circuit — the scan was quadratic per collective at fabric scale.
     port_owner: Dict[int, Circuit] = field(default_factory=dict)
+    #: OCS ports taken out of service by fault injection.  A failed port is
+    #: permanently conflicting: nothing can ever be installed on it, and the
+    #: planner routes circuits through each domain's surviving ports instead.
+    failed_ports: Set[int] = field(default_factory=set)
 
     def install(self, circuit: Circuit, usable_at: float) -> None:
         """Record ``circuit`` as installed and usable at ``usable_at``."""
@@ -181,6 +185,19 @@ class OpusController:
             return max(request.issue_time, cached[2]), None
 
         missing = [c for c in target.circuits if c not in state.installed]
+        if state.failed_ports:
+            # The planner routes around failed ports, so a missing circuit
+            # that still lands on one means no healthy assignment exists (or
+            # a stale configuration object leaked past a port failure) —
+            # fail loudly instead of pretending the install happened.
+            for circuit in missing:
+                for port in circuit.ports:
+                    if port in state.failed_ports:
+                        raise FaultError(
+                            f"rail {rail}: circuit {circuit} needs OCS port "
+                            f"{port}, which has failed; no healthy port "
+                            "assignment can serve this configuration"
+                        )
         if not missing:
             if not target.circuits:
                 return request.issue_time, None
@@ -225,6 +242,33 @@ class OpusController:
         )
         ready = max(end, max(state.installed[c] for c in target.circuits))
         return ready, record
+
+    def fail_port(self, rail: int, port: int) -> Optional[Circuit]:
+        """Take one OCS port on ``rail`` out of service (fault injection).
+
+        The port becomes permanently conflicting: the circuit it carried (if
+        any) is torn down immediately — without a switching event, the light
+        simply dies — the fabric's topology view is synchronized, and every
+        future configuration touching the port is rejected by
+        :meth:`ensure`.  Returns the torn circuit, or ``None`` if the port
+        was idle.  Callers owning a planner must drop its cached
+        configurations so new targets route around the failed port.
+        """
+        state = self.rail_state(rail)
+        state.failed_ports.add(port)
+        victim = state.port_owner.get(port)
+        if victim is not None:
+            # Tear through _sync_fabric so the topology links realizing the
+            # circuit are removed and circuit-change listeners fire; only
+            # then mark the hardware port failed (the OCS-level tear has
+            # already happened by the time the mark lands).
+            state.tear(victim)
+            self._sync_fabric(rail)
+        self.fabric.rail(rail).fail_port(port)
+        # Cached ensure() answers may assert targets containing the victim
+        # are fully installed; the tear invalidates them all.
+        self._ensure_cache.clear()
+        return victim
 
     def notify_traffic(
         self, rail: int, circuits: Iterable[Circuit], busy_until: float

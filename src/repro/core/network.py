@@ -66,11 +66,34 @@ class PhotonicRailNetworkModel(NetworkModel):
         )
 
     # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+
+    def install_fault_plan(self, plan) -> None:
+        """Bind a fault plan (inline); supports OCS port failures.
+
+        A failed port is permanently conflicting: the controller tears the
+        circuit it carried and the planner's dropped caches make every
+        future configuration route through each domain's surviving ports.
+        """
+        from ..simulator.faults import FaultInjector
+
+        injector = FaultInjector(plan)
+        injector.on_port_failed = self._apply_port_failure
+        self.fault_injector = injector
+
+    def _apply_port_failure(self, event, now: float) -> None:
+        self.controller.fail_port(event.rail, event.port)
+        self.shim.planner.clear_cache()
+
+    # ------------------------------------------------------------------ #
     # NetworkModel interface
     # ------------------------------------------------------------------ #
 
     def timing(self, operation: Operation, ready_time: float) -> CommTiming:
         assert operation.collective is not None
+        if self.fault_injector is not None and self.fault_injector.inline:
+            self.fault_injector.advance_to(ready_time)
         duration = self.transfer_duration(operation)
         if not self.is_scaleout(operation):
             return CommTiming(start=ready_time, end=ready_time + duration)

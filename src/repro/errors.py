@@ -52,6 +52,38 @@ class DeadlockError(SimulationError):
     communication pattern)."""
 
 
+class FaultError(SimulationError):
+    """A fault-injection event could not be applied.
+
+    Raised when a :class:`~repro.simulator.faults.FaultPlan` event matches
+    nothing (a typo'd node pattern), targets a component the backend cannot
+    fault, or leaves the fabric in a state no healthy assignment can serve
+    (e.g. a ring that needs two NIC ports on a domain with one healthy OCS
+    port left).
+    """
+
+
+class LinkFailedError(SimulationError):
+    """A flow's path crosses a link that failed mid-simulation.
+
+    Carries the affected flow id and link key so policies and tests can react
+    to the precise casualty instead of parsing the message.  Raised by the
+    flow simulator when a fault (or a circuit tear-down) kills a link under a
+    pending or in-flight flow and the failure policy is ``"fail"`` — or when
+    the ``"reroute"`` policy finds no surviving path.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        flow_id: "int | None" = None,
+        link_key: "tuple | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.flow_id = flow_id
+        self.link_key = link_key
+
+
 class ScenarioError(ReproError):
     """A scenario failed to simulate.
 

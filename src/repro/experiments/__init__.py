@@ -26,10 +26,14 @@ from .backends import (
     register_backend,
 )
 from .contention import (
+    DEGRADED_BACKENDS,
+    DEGRADED_CONDITIONS,
     NetworkModeComparison,
     circuit_thrash_scenario,
     compare_network_modes,
     contention_free_scenario,
+    degraded_fabric_grid,
+    degraded_fabric_scenario,
     mini_fat_tree_cluster,
     provisioned_photonic_scenario,
     shared_uplink_incast_scenario,
@@ -44,6 +48,8 @@ from .runner import (
 )
 
 __all__ = [
+    "DEGRADED_BACKENDS",
+    "DEGRADED_CONDITIONS",
     "ExperimentRunner",
     "FabricBackend",
     "NETWORK_MODES",
@@ -57,6 +63,8 @@ __all__ = [
     "compare_network_modes",
     "contention_free_scenario",
     "create_network",
+    "degraded_fabric_grid",
+    "degraded_fabric_scenario",
     "expand_grid",
     "get_backend",
     "mini_fat_tree_cluster",

@@ -8,17 +8,20 @@ name.  The registry ships with six backends:
 ========== ==================================================================
 ``photonic``   photonic rails driven by the Opus control plane (the paper's
                proposal; knobs: ``reconfiguration_delay``, ``provisioning``,
-               ``technology``, ``network_mode``)
+               ``technology``, ``network_mode``, ``faults``)
 ``electrical`` fully-connected electrical rails, the Fig. 8 baseline
-               (knobs: ``use_tree_collectives``, ``network_mode``)
+               (knobs: ``use_tree_collectives``, ``network_mode``,
+               ``faults``)
 ``ideal``      zero-cost network — the communication-free lower bound
+               (knobs: ``faults``)
 ``fattree``    transfers routed through the k-ary fat-tree graph (knobs:
-               ``network_mode``, ``oversubscription``)
+               ``network_mode``, ``oversubscription``, ``faults``)
 ``railopt``    transfers routed through the leaf/spine rail-optimized graph
-               (knobs: ``always_spine``, ``network_mode``)
+               (knobs: ``always_spine``, ``network_mode``, ``faults``)
 ``ocs``        bare OCS rails without Opus: every circuit-schedule change
                blocks for the switching delay (knobs:
-               ``reconfiguration_delay``, ``technology``, ``network_mode``)
+               ``reconfiguration_delay``, ``technology``, ``network_mode``,
+               ``faults``)
 ========== ==================================================================
 
 Every backend except ``ideal`` accepts a ``network_mode`` knob selecting how
@@ -34,6 +37,14 @@ installed when the flows start, and real flow drains feed the controller's
 busy-circuit bookkeeping
 (:class:`~repro.simulator.flow_network.PhotonicFlowNetworkModel`).
 
+Every backend additionally accepts a ``faults`` knob — a
+:class:`~repro.simulator.faults.FaultPlan` (or its dict/list JSON form) of
+timed fabric faults: link failure/recovery, bandwidth degradation, OCS port
+failure, per-device compute slowdown.  Each backend/mode combination
+validates that it can apply the plan's event kinds (link events need a
+routed topology, port failures a circuit control plane; compute slowdowns
+work everywhere).
+
 Third parties register additional fabrics with the :func:`backend` decorator
 (or :func:`register_backend`); the experiment runner and the ``repro-sim`` CLI
 pick them up automatically.
@@ -47,6 +58,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import ConfigurationError
 from ..parallelism.groups import GroupRegistry
 from ..parallelism.mesh import DeviceMesh
+from ..simulator.faults import (
+    LINK_FAULT_KINDS,
+    FaultKind,
+    as_fault_plan,
+)
 from ..simulator.fabric_network import (
     FatTreeNetworkModel,
     OCSReconfigurableNetworkModel,
@@ -171,10 +187,49 @@ def _check_network_mode(network_mode: object) -> str:
     return str(mode)
 
 
+# Fault kinds each backend/mode combination can apply through its ``faults``
+# knob.  Compute slowdowns work everywhere (the executor applies them); link
+# events need a routed topology; OCS port failures need a circuit control
+# plane.
+_COMPUTE_FAULTS = frozenset({FaultKind.COMPUTE_SLOWDOWN})
+_LINK_FAULTS = _COMPUTE_FAULTS | LINK_FAULT_KINDS
+_CIRCUIT_FLOW_FAULTS = _LINK_FAULTS | {FaultKind.OCS_PORT_FAIL}
+_CIRCUIT_ANALYTIC_FAULTS = _COMPUTE_FAULTS | {FaultKind.OCS_PORT_FAIL}
+
+
+def _install_faults(
+    model: NetworkModel,
+    faults: object,
+    supported: frozenset,
+    backend: str,
+    mode: str,
+) -> NetworkModel:
+    """Validate and bind a ``faults=`` knob value onto a fresh model."""
+    if faults is None:
+        return model
+    plan = as_fault_plan(faults)
+    if plan.is_empty:
+        # A zero-event plan is *exactly* no plan: binding an injector anyway
+        # would still flip flow-mode behavior (failure policy, the rewind
+        # guard) and break the documented bit-for-bit equivalence.
+        return model
+    plan.require_supported(
+        supported, context=f"backend {backend!r} in {mode} network mode"
+    )
+    model.install_fault_plan(plan)
+    return model
+
+
 @backend(
     "photonic",
     "Photonic rails driven by the Opus control plane (the paper's proposal)",
-    knobs=("reconfiguration_delay", "provisioning", "technology", "network_mode"),
+    knobs=(
+        "reconfiguration_delay",
+        "provisioning",
+        "technology",
+        "network_mode",
+        "faults",
+    ),
 )
 def _photonic_backend(
     cluster: ClusterSpec,
@@ -184,15 +239,22 @@ def _photonic_backend(
     provisioning: bool = True,
     technology: Optional[OCSTechnology] = None,
     network_mode: Optional[str] = None,
+    faults: object = None,
 ) -> NetworkModel:
     if _check_network_mode(network_mode) == "flow":
-        return photonic_flow_network(
-            cluster,
-            mesh,
-            reconfiguration_delay=reconfiguration_delay,
-            provisioning=bool(provisioning),
-            technology=technology,
-            registry=registry,
+        return _install_faults(
+            photonic_flow_network(
+                cluster,
+                mesh,
+                reconfiguration_delay=reconfiguration_delay,
+                provisioning=bool(provisioning),
+                technology=technology,
+                registry=registry,
+            ),
+            faults,
+            _CIRCUIT_FLOW_FAULTS,
+            "photonic",
+            "flow",
         )
     # Imported lazily: repro.core imports this module back through
     # repro.core.system, so a module-level import would be circular.
@@ -201,20 +263,26 @@ def _photonic_backend(
     from ..topology.photonic import build_photonic_rail_fabric
 
     fabric = build_photonic_rail_fabric(cluster, technology=technology)
-    return PhotonicRailNetworkModel(
-        cluster=cluster,
-        mesh=mesh,
-        fabric=fabric,
-        reconfiguration_delay=reconfiguration_delay,
-        shim_options=ShimOptions(provisioning=bool(provisioning)),
-        registry=registry,
+    return _install_faults(
+        PhotonicRailNetworkModel(
+            cluster=cluster,
+            mesh=mesh,
+            fabric=fabric,
+            reconfiguration_delay=reconfiguration_delay,
+            shim_options=ShimOptions(provisioning=bool(provisioning)),
+            registry=registry,
+        ),
+        faults,
+        _CIRCUIT_ANALYTIC_FAULTS,
+        "photonic",
+        "analytic",
     )
 
 
 @backend(
     "electrical",
     "Fully-connected electrical rails (the Fig. 8 baseline)",
-    knobs=("use_tree_collectives", "network_mode"),
+    knobs=("use_tree_collectives", "network_mode", "faults"),
 )
 def _electrical_backend(
     cluster: ClusterSpec,
@@ -222,6 +290,7 @@ def _electrical_backend(
     registry: Optional[GroupRegistry] = None,
     use_tree_collectives: bool = False,
     network_mode: Optional[str] = None,
+    faults: object = None,
 ) -> NetworkModel:
     if _check_network_mode(network_mode) == "flow":
         if use_tree_collectives:
@@ -229,25 +298,44 @@ def _electrical_backend(
                 "network_mode='flow' expands ring algorithms only; "
                 "use_tree_collectives is not supported in flow mode"
             )
-        return electrical_flow_network(cluster, mesh)
-    return ElectricalRailNetworkModel(
-        cluster, mesh, use_tree_collectives=bool(use_tree_collectives)
+        return _install_faults(
+            electrical_flow_network(cluster, mesh),
+            faults,
+            _LINK_FAULTS,
+            "electrical",
+            "flow",
+        )
+    return _install_faults(
+        ElectricalRailNetworkModel(
+            cluster, mesh, use_tree_collectives=bool(use_tree_collectives)
+        ),
+        faults,
+        _COMPUTE_FAULTS,
+        "electrical",
+        "analytic",
     )
 
 
-@backend("ideal", "Zero-cost network: the communication-free lower bound")
+@backend(
+    "ideal",
+    "Zero-cost network: the communication-free lower bound",
+    knobs=("faults",),
+)
 def _ideal_backend(
     cluster: ClusterSpec,
     mesh: DeviceMesh,
     registry: Optional[GroupRegistry] = None,
+    faults: object = None,
 ) -> NetworkModel:
-    return IdealNetworkModel(cluster, mesh)
+    return _install_faults(
+        IdealNetworkModel(cluster, mesh), faults, _COMPUTE_FAULTS, "ideal", "analytic"
+    )
 
 
 @backend(
     "fattree",
     "Packet transfers routed through the k-ary fat-tree graph",
-    knobs=("network_mode", "oversubscription"),
+    knobs=("network_mode", "oversubscription", "faults"),
 )
 def _fattree_backend(
     cluster: ClusterSpec,
@@ -255,19 +343,22 @@ def _fattree_backend(
     registry: Optional[GroupRegistry] = None,
     network_mode: Optional[str] = None,
     oversubscription: float = 1.0,
+    faults: object = None,
 ) -> NetworkModel:
     oversubscription = float(oversubscription)
     if _check_network_mode(network_mode) == "flow":
-        return fat_tree_flow_network(
+        model: NetworkModel = fat_tree_flow_network(
             cluster, mesh, oversubscription=oversubscription
         )
-    return FatTreeNetworkModel(cluster, mesh, oversubscription=oversubscription)
+        return _install_faults(model, faults, _LINK_FAULTS, "fattree", "flow")
+    model = FatTreeNetworkModel(cluster, mesh, oversubscription=oversubscription)
+    return _install_faults(model, faults, _LINK_FAULTS, "fattree", "analytic")
 
 
 @backend(
     "railopt",
     "Packet transfers routed through the leaf/spine rail-optimized graph",
-    knobs=("always_spine", "network_mode"),
+    knobs=("always_spine", "network_mode", "faults"),
 )
 def _railopt_backend(
     cluster: ClusterSpec,
@@ -275,18 +366,21 @@ def _railopt_backend(
     registry: Optional[GroupRegistry] = None,
     always_spine: bool = True,
     network_mode: Optional[str] = None,
+    faults: object = None,
 ) -> NetworkModel:
     if _check_network_mode(network_mode) == "flow":
-        return rail_optimized_flow_network(
+        model: NetworkModel = rail_optimized_flow_network(
             cluster, mesh, always_spine=bool(always_spine)
         )
-    return RailOptimizedNetworkModel(cluster, mesh, always_spine=bool(always_spine))
+        return _install_faults(model, faults, _LINK_FAULTS, "railopt", "flow")
+    model = RailOptimizedNetworkModel(cluster, mesh, always_spine=bool(always_spine))
+    return _install_faults(model, faults, _LINK_FAULTS, "railopt", "analytic")
 
 
 @backend(
     "ocs",
     "Bare OCS rails without Opus: schedule changes block for the switch time",
-    knobs=("reconfiguration_delay", "technology", "network_mode"),
+    knobs=("reconfiguration_delay", "technology", "network_mode", "faults"),
 )
 def _ocs_backend(
     cluster: ClusterSpec,
@@ -295,18 +389,31 @@ def _ocs_backend(
     reconfiguration_delay: Optional[float] = None,
     technology: Optional[OCSTechnology] = None,
     network_mode: Optional[str] = None,
+    faults: object = None,
 ) -> NetworkModel:
     if _check_network_mode(network_mode) == "flow":
-        return bare_ocs_flow_network(
+        return _install_faults(
+            bare_ocs_flow_network(
+                cluster,
+                mesh,
+                reconfiguration_delay=reconfiguration_delay,
+                technology=technology,
+                registry=registry,
+            ),
+            faults,
+            _CIRCUIT_FLOW_FAULTS,
+            "ocs",
+            "flow",
+        )
+    return _install_faults(
+        OCSReconfigurableNetworkModel(
             cluster,
             mesh,
             reconfiguration_delay=reconfiguration_delay,
             technology=technology,
-            registry=registry,
-        )
-    return OCSReconfigurableNetworkModel(
-        cluster,
-        mesh,
-        reconfiguration_delay=reconfiguration_delay,
-        technology=technology,
+        ),
+        faults,
+        _CIRCUIT_ANALYTIC_FAULTS,
+        "ocs",
+        "analytic",
     )

@@ -255,6 +255,15 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         "circuit-switched backends, time-domain reconfiguration events "
         "(shorthand for --knob network_mode=...; every backend except ideal)",
     )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FAULTS.JSON",
+        help="JSON fault plan injected as timed simulation events: link "
+        "failure/recovery, bandwidth degradation, OCS port failure, compute "
+        "slowdown (shorthand for the 'faults' backend knob; see the README's "
+        "Fault injection section for the schema)",
+    )
     parser.add_argument("--format", choices=("json", "csv"), default="json")
     parser.add_argument("--output", default=None, help="write to file instead of stdout")
 
@@ -272,6 +281,15 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
                 f"--knob network_mode={existing}"
             )
         knobs["network_mode"] = args.network_mode
+    if getattr(args, "fault_plan", None) is not None:
+        from ..simulator.faults import FaultPlan
+
+        if "faults" in knobs:
+            raise ConfigurationError(
+                "--fault-plan conflicts with --knob faults=...; pick one way "
+                "to inject faults"
+            )
+        knobs["faults"] = FaultPlan.from_file(args.fault_plan)
     return Scenario(
         workload=workload,
         cluster=cluster,

@@ -32,6 +32,16 @@ Four reference scenarios anchor the flow-level network mode:
 :func:`compare_network_modes` runs any scenario under both modes and reports
 the slowdown, which is how the ``repro-sim`` CLI and the tests consume these.
 
+The module also hosts the **degraded-fabric scenario family**
+(:func:`degraded_fabric_scenario`, :func:`degraded_fabric_grid`): concurrent
+per-rail DP rings on the fat-tree, rail-optimized, and photonic backends
+under three fault conditions — ``healthy``, ``degraded`` (every fabric link
+at 90% capacity), and ``failed`` (one GPU's NIC attachment down, its flows
+detouring over the scale-up interconnect through a domain-mate's rail).  The
+``healthy < degraded < failed`` completion-time ordering is asserted as
+tier-1 tests on all three fabrics, and a 1k-endpoint version runs as the
+non-blocking ``-m slow`` CI smoke.
+
 The module additionally hosts the **large-scale scenario family**
 (:func:`scale_scenario`, :func:`scale_scenario_grid`): 1k/4k/10k-endpoint
 fabrics running a multi-collective MoE steady state (concurrent per-rail FSDP
@@ -56,6 +66,7 @@ from ..parallelism.config import (
 )
 from ..parallelism.dag import DagBuildOptions
 from ..parallelism.workloads import small_test_workload
+from ..simulator.faults import FaultEvent, FaultKind, FaultPlan
 from ..topology.devices import (
     ClusterSpec,
     ElectricalSwitchSpec,
@@ -343,6 +354,141 @@ def scale_scenario_grid(
         )
         for count in endpoints
         for backend in backends
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Degraded-fabric scenario family (fault injection)
+# --------------------------------------------------------------------------- #
+
+#: Health conditions of the degraded-fabric family, ordered by severity.
+DEGRADED_CONDITIONS = ("healthy", "degraded", "failed")
+
+#: Backends the degraded-fabric family targets.
+DEGRADED_BACKENDS = ("fattree", "railopt", "photonic")
+
+#: Remaining capacity fraction of the "degraded" condition (degraded by 10%).
+DEGRADED_FRACTION = 0.9
+
+
+def degraded_fabric_cluster(num_nodes: int = 4) -> ClusterSpec:
+    """The family's cluster: Perlmutter nodes, 2-port NICs, tiny switches.
+
+    The :data:`MINI_SWITCH` keeps the electrical fabrics multi-tier (so the
+    degraded condition touches real shared uplinks) and the 2-port NICs let
+    the photonic planner build rings over every scale-up domain (constraint
+    C1/C3).  Scales from the 4-node tier-1 configuration up to the
+    1k-endpoint smoke run (250 nodes; the default piezo OCS radix of 576
+    caps the family at 288 nodes).
+    """
+    return replace(
+        perlmutter_testbed(num_nodes=num_nodes),
+        electrical_switch=MINI_SWITCH,
+        nic_ports_per_gpu=2,
+    )
+
+
+def degraded_fabric_fault_plan(
+    backend: str, condition: str
+) -> Optional[FaultPlan]:
+    """The fault plan realizing ``condition`` on ``backend``.
+
+    * ``healthy`` — no plan (a plan with zero events is bit-for-bit
+      identical, which the test suite asserts separately);
+    * ``degraded`` — every fabric link degraded by 10% at t=0: the whole
+      electrical tier on the packet fabrics, the host links (the optics the
+      paper's degradation regime is about) on the photonic fabric;
+    * ``failed`` — GPU 0's scale-out NIC attachment down at t=0 (both host
+      links).  Its flows detour over the scale-up interconnect through a
+      domain-mate's NIC, sharing that GPU's rail with its own ring — a
+      strictly heavier perturbation than the uniform 10% degrade.  A failed
+      *parallel* fabric link would be absorbed for free by deterministic
+      single-path routing (the twin uplink takes over at equal capacity),
+      which is why the family kills a component whose loss genuinely
+      shrinks the bottleneck cut.
+    """
+    if condition not in DEGRADED_CONDITIONS:
+        raise ConfigurationError(
+            f"unknown condition {condition!r}; use one of {DEGRADED_CONDITIONS}"
+        )
+    if backend not in DEGRADED_BACKENDS:
+        raise ConfigurationError(
+            f"the degraded-fabric family targets {DEGRADED_BACKENDS}, "
+            f"got {backend!r}"
+        )
+    if condition == "healthy":
+        return None
+    if condition == "degraded":
+        link_kind = "host" if backend == "photonic" else "electrical"
+        return FaultPlan(
+            events=(
+                FaultEvent(
+                    time=0.0,
+                    kind=FaultKind.LINK_DEGRADE,
+                    link_kind=link_kind,
+                    fraction=DEGRADED_FRACTION,
+                ),
+            )
+        )
+    return FaultPlan(
+        events=(
+            FaultEvent(
+                time=0.0,
+                kind=FaultKind.LINK_FAIL,
+                src="gpu0",
+                dst="gpu0.nic*",
+            ),
+        )
+    )
+
+
+def degraded_fabric_scenario(
+    backend: str = "fattree",
+    condition: str = "healthy",
+    num_nodes: int = 4,
+    network_mode: str = "flow",
+    num_iterations: int = 2,
+) -> Scenario:
+    """One degraded-fabric point: concurrent per-rail DP rings under faults.
+
+    TP=4 keeps tensor parallelism on NVLink and the DP axis spans every
+    node, so each rail carries one fabric-wide FSDP ring and all four run
+    concurrently — the regime where losing capacity hurts.  The family is
+    asserted (as tier-1 tests) to order ``healthy < degraded < failed`` in
+    completion time on all three fabrics.
+    """
+    plan = degraded_fabric_fault_plan(backend, condition)
+    knobs: dict = {"network_mode": network_mode}
+    if plan is not None:
+        knobs["faults"] = plan
+    return Scenario(
+        workload=small_test_workload(pp=1, dp=num_nodes, tp=4),
+        cluster=degraded_fabric_cluster(num_nodes),
+        backend=backend,
+        knobs=knobs,
+        num_iterations=num_iterations,
+        name=f"degraded-{backend}-{condition}",
+    )
+
+
+def degraded_fabric_grid(
+    backends: Sequence[str] = DEGRADED_BACKENDS,
+    conditions: Sequence[str] = DEGRADED_CONDITIONS,
+    num_nodes: int = 4,
+    network_mode: str = "flow",
+    num_iterations: int = 2,
+) -> List[Scenario]:
+    """The full family, ready for ``ExperimentRunner.run_many``."""
+    return [
+        degraded_fabric_scenario(
+            backend=backend,
+            condition=condition,
+            num_nodes=num_nodes,
+            network_mode=network_mode,
+            num_iterations=num_iterations,
+        )
+        for backend in backends
+        for condition in conditions
     ]
 
 

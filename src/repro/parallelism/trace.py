@@ -88,6 +88,24 @@ class ReconfigRecord:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault-injection event applied during the iteration.
+
+    Produced by :class:`~repro.simulator.faults.FaultInjector` so fault
+    timelines land in the trace next to the communication and
+    reconfiguration records they perturb.
+    """
+
+    time: float
+    #: :class:`~repro.simulator.faults.FaultKind` value (e.g. ``link_fail``).
+    kind: str
+    #: Human-readable target description (patterns, rail/port, rank).
+    target: str = ""
+    #: Number of topology links the event touched (0 for non-link faults).
+    num_links: int = 0
+
+
 @dataclass
 class IterationTrace:
     """The full trace of one simulated (or recorded) training iteration."""
@@ -96,6 +114,7 @@ class IterationTrace:
     comm_records: List[CommRecord] = field(default_factory=list)
     compute_records: List[ComputeRecord] = field(default_factory=list)
     reconfig_records: List[ReconfigRecord] = field(default_factory=list)
+    fault_records: List[FaultRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -166,6 +185,10 @@ class IterationTrace:
         """Number of reconfigurations performed during the iteration."""
         return len(self.reconfig_records)
 
+    def num_faults(self) -> int:
+        """Number of fault events applied during the iteration."""
+        return len(self.fault_records)
+
     # ------------------------------------------------------------------ #
     # Serialization
     # ------------------------------------------------------------------ #
@@ -182,6 +205,7 @@ class IterationTrace:
                 {**asdict(r), "phase": r.phase.value} for r in self.compute_records
             ],
             "reconfig_records": [asdict(r) for r in self.reconfig_records],
+            "fault_records": [asdict(r) for r in self.fault_records],
         }
 
     def to_json(self, path: Path) -> None:
@@ -251,6 +275,8 @@ class IterationTrace:
             )
         for row in data.get("reconfig_records", []):
             trace.reconfig_records.append(ReconfigRecord(**row))
+        for row in data.get("fault_records", []):
+            trace.fault_records.append(FaultRecord(**row))
         return trace
 
     @classmethod

@@ -12,6 +12,9 @@
 * :mod:`repro.simulator.engine` / :mod:`repro.simulator.flows` — fluid
   max–min fair flow simulation backing the flow-level mode and
   point-to-point studies.
+* :mod:`repro.simulator.faults` — fault injection: declarative
+  :class:`FaultPlan` schedules of link failures, degradations, OCS port
+  failures, and compute slowdowns, applied as first-class simulation events.
 * :mod:`repro.simulator.metrics` — trace summaries (iteration time breakdowns,
   normalized iteration time for Fig. 8).
 """
@@ -19,6 +22,7 @@
 from .compute import ComputeTimeModel
 from .engine import Event, SimulationEngine
 from .executor import DAGExecutor, SimulationConfig
+from .faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from .fabric_network import (
     FatTreeNetworkModel,
     OCSReconfigurableNetworkModel,
@@ -54,6 +58,10 @@ __all__ = [
     "ElectricalRailNetworkModel",
     "Event",
     "FatTreeNetworkModel",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "Flow",
     "FlowNetworkModel",
     "FlowSimulator",

@@ -157,6 +157,14 @@ class DAGExecutor:
                 "the DAG has unreachable operations"
             )
         self.network.on_iteration_end(iteration, trace.end)
+        injector = getattr(self.network, "fault_injector", None)
+        if injector is not None:
+            if injector.inline:
+                # Analytic models advance the injector as collectives are
+                # priced; settle any events the last pricing call left behind
+                # so fault application is deterministic per iteration.
+                injector.advance_to(trace.end)
+            trace.fault_records.extend(injector.pop_records())
         return trace
 
     def _schedule_analytic(self, state: "_ScheduleState", trace: IterationTrace) -> int:
@@ -343,11 +351,16 @@ class DAGExecutor:
                 ready = max(ready, resource.get(rank, start_time))
         return ready
 
-    def _compute_duration(self, operation: Operation) -> float:
+    def _compute_duration(self, operation: Operation, start: float) -> float:
         duration = self.compute_model.duration(operation)
         if self.config.compute_jitter > 0:
             factor = self._rng.lognormvariate(0.0, self.config.compute_jitter)
             duration *= factor
+        injector = getattr(self.network, "fault_injector", None)
+        if injector is not None:
+            # Per-device slowdown faults (stragglers): the latest slowdown
+            # event at or before the operation's start stretches its ranks.
+            duration *= injector.compute_factor(operation.ranks, start)
         return duration
 
     def _execute_compute(
@@ -357,7 +370,7 @@ class DAGExecutor:
         gpu_free: Dict[int, float],
         trace: IterationTrace,
     ) -> float:
-        end = start + self._compute_duration(operation)
+        end = start + self._compute_duration(operation, start)
         for rank in operation.ranks:
             gpu_free[rank] = end
         trace.compute_records.append(

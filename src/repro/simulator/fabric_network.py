@@ -61,6 +61,23 @@ class TopologyNetworkModel(NetworkModel):
         super().__init__(cluster, mesh)
         self.topology = topology
         self._group_links: Dict[Tuple[int, ...], LinkParameters] = {}
+        #: Topology version the group-parameter cache was built at; fault
+        #: injection degrades and fails links mid-run, and bottleneck
+        #: parameters computed against the healthy capacities must not
+        #: survive that.
+        self._group_links_version = topology.version
+
+    def install_fault_plan(self, plan) -> None:
+        """Bind a fault plan, running its injector inline (analytic mode).
+
+        Link events mutate this model's topology; :meth:`timing` advances
+        the injector to each collective's ready time before pricing, so
+        degraded capacities and failed links reshape the bottleneck
+        arithmetic (and reroute the ring hops) from that instant on.
+        """
+        from .faults import FaultInjector
+
+        self.fault_injector = FaultInjector(plan, topology=self.topology)
 
     # ------------------------------------------------------------------ #
     # Path resolution
@@ -85,7 +102,15 @@ class TopologyNetworkModel(NetworkModel):
         return paths
 
     def group_link_parameters(self, group: Tuple[int, ...]) -> LinkParameters:
-        """Effective alpha–beta link parameters for one communication group."""
+        """Effective alpha–beta link parameters for one communication group.
+
+        Cached per group, keyed on the topology version: a fault event that
+        degrades or fails a link invalidates every cached bottleneck.
+        """
+        version = self.topology.version
+        if version != self._group_links_version:
+            self._group_links.clear()
+            self._group_links_version = version
         cached = self._group_links.get(group)
         if cached is not None:
             return cached
@@ -116,6 +141,11 @@ class TopologyNetworkModel(NetworkModel):
         return self._ring.collective_time(operation.collective, link)
 
     def timing(self, operation: Operation, ready_time: float) -> CommTiming:
+        if self.fault_injector is not None and self.fault_injector.inline:
+            # List scheduling prices collectives in non-decreasing ready
+            # order, so applying every fault event up to the ready time here
+            # gives the analytic mode its time-domain fault semantics.
+            self.fault_injector.advance_to(ready_time)
         duration = self.transfer_duration(operation)
         return CommTiming(start=ready_time, end=ready_time + duration)
 
@@ -214,6 +244,22 @@ class OCSReconfigurableNetworkModel(NetworkModel):
             raise ConfigurationError(f"rail {rail} does not exist")
         return self._rails[rail]
 
+    def install_fault_plan(self, plan) -> None:
+        """Bind a fault plan (inline); supports OCS port failures."""
+        from .faults import FaultInjector
+
+        injector = FaultInjector(plan)
+        injector.on_port_failed = self._apply_port_failure
+        self.fault_injector = injector
+
+    def _apply_port_failure(self, event, now: float) -> None:
+        photonic_rail = self.rail(event.rail)
+        victim = photonic_rail.fail_port(event.port)
+        if victim is not None:
+            # The installed schedule lost a circuit; forget it so the next
+            # collective reinstalls (routing around the failed port).
+            self._installed_domains.pop(event.rail, None)
+
     def installed_domains(self, rail: int) -> Tuple[int, ...]:
         """Domains of the schedule currently installed on ``rail`` (may be empty)."""
         return self._installed_domains.get(rail, ())
@@ -235,6 +281,8 @@ class OCSReconfigurableNetworkModel(NetworkModel):
 
     def timing(self, operation: Operation, ready_time: float) -> CommTiming:
         assert operation.collective is not None
+        if self.fault_injector is not None and self.fault_injector.inline:
+            self.fault_injector.advance_to(ready_time)
         duration = self.transfer_duration(operation)
         if not self.is_scaleout(operation):
             return CommTiming(start=ready_time, end=ready_time + duration)

@@ -1,0 +1,517 @@
+"""Fault injection: declarative fabric-fault plans applied as simulation events.
+
+Real fabrics lose links, degrade optics, and straggle; this module makes those
+conditions first-class scheduled events instead of hand-edited topologies.  A
+:class:`FaultPlan` is a declarative, picklable list of timed
+:class:`FaultEvent` entries — link failure / recovery, bandwidth degradation
+to a fraction, OCS port failure, per-device compute slowdown — that every
+fabric backend accepts through its ``faults=`` knob (and the ``repro-sim``
+CLI through ``--fault-plan``).
+
+A :class:`FaultInjector` binds one plan to one simulation and applies the
+events in time order:
+
+* **flow mode** — the network model schedules every event on the shared
+  :class:`~repro.simulator.engine.SimulationEngine`, so a fault interrupts
+  in-flight flows at its exact instant: the topology mutates, the version
+  counter bumps (invalidating every route table and cache for free), and the
+  :class:`~repro.simulator.flows.FlowSimulator` re-rates the affected
+  component or re-routes/fails the flows whose paths died;
+* **analytic mode** — the injector runs *inline*: the network model advances
+  it to each collective's ready time before pricing, so degraded capacities
+  and failed links reshape the bottleneck arithmetic from that instant on;
+* **compute slowdowns** — pure time-indexed queries answered to the DAG
+  executor, which stretches compute durations of the affected ranks.
+
+Applied events are recorded as :class:`~repro.parallelism.trace.FaultRecord`
+entries in the iteration trace, so fault timelines land next to the
+communication and reconfiguration records they perturb.
+
+Link events target links by ``fnmatch`` patterns over endpoint node names
+(``src="edge.sw0", dst="agg.*"``) and/or by link kind (``link_kind="host"``);
+matching is evaluated against the live topology when the event fires, and an
+event that matches nothing raises :class:`~repro.errors.FaultError` — a
+silent no-op fault is almost always a typo'd pattern.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import ConfigurationError, FaultError
+from ..parallelism.trace import FaultRecord
+from ..topology.base import Link, Topology
+
+LinkKey = Tuple[str, str, int]
+
+
+class FaultKind(str, Enum):
+    """The kind of fabric fault an event injects."""
+
+    LINK_FAIL = "link_fail"
+    LINK_DEGRADE = "link_degrade"
+    LINK_RESTORE = "link_restore"
+    OCS_PORT_FAIL = "ocs_port_fail"
+    COMPUTE_SLOWDOWN = "compute_slowdown"
+
+
+#: Event kinds that mutate topology links.
+LINK_FAULT_KINDS = frozenset(
+    {FaultKind.LINK_FAIL, FaultKind.LINK_DEGRADE, FaultKind.LINK_RESTORE}
+)
+
+#: Event kinds that mutate fabric state (links or OCS crossbars).
+TOPOLOGY_FAULT_KINDS = LINK_FAULT_KINDS | {FaultKind.OCS_PORT_FAIL}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the fault strikes.
+    kind:
+        What happens (see :class:`FaultKind`).
+    src, dst:
+        ``fnmatch`` patterns over the endpoint node names of the links to
+        affect (link events only).  ``None`` matches anything; with
+        ``bidirectional`` (the default) a link also matches with its
+        endpoints swapped, so one event takes out both directions of a
+        bidirectional link pair.
+    link_kind:
+        Optional :class:`~repro.topology.base.LinkKind` value filter
+        (``"host"``, ``"electrical"``, ...) for link events.
+    fraction:
+        ``LINK_DEGRADE`` only: the remaining capacity fraction in ``(0, 1]``
+        relative to the link's original bandwidth (``0.9`` = degraded by 10%,
+        ``1.0`` = restored to full health).
+    rail, port:
+        ``OCS_PORT_FAIL`` only: the rail index and OCS port that dies.
+    rank, factor:
+        ``COMPUTE_SLOWDOWN`` only: the affected rank (``None`` = every rank)
+        and the compute-duration multiplier (``>= 1``; ``1.0`` clears an
+        earlier slowdown).  The latest event at or before a compute
+        operation's start governs its ranks.
+    """
+
+    time: float
+    kind: FaultKind
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    link_kind: Optional[str] = None
+    bidirectional: bool = True
+    fraction: Optional[float] = None
+    rail: Optional[int] = None
+    port: Optional[int] = None
+    rank: Optional[int] = None
+    factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("fault events cannot happen before t=0")
+        kind = FaultKind(self.kind)
+        object.__setattr__(self, "kind", kind)
+        if kind in LINK_FAULT_KINDS:
+            if self.src is None and self.dst is None and self.link_kind is None:
+                raise ConfigurationError(
+                    f"{kind.value} event needs a target: src/dst patterns "
+                    "and/or a link_kind filter"
+                )
+            if kind == FaultKind.LINK_DEGRADE:
+                if self.fraction is None or not 0.0 < self.fraction <= 1.0:
+                    raise ConfigurationError(
+                        "link_degrade needs a fraction in (0, 1] "
+                        f"(got {self.fraction!r})"
+                    )
+            elif self.fraction is not None:
+                raise ConfigurationError(
+                    f"{kind.value} does not take a fraction"
+                )
+        elif kind == FaultKind.OCS_PORT_FAIL:
+            if self.rail is None or self.port is None:
+                raise ConfigurationError(
+                    "ocs_port_fail needs both a rail and a port"
+                )
+        elif kind == FaultKind.COMPUTE_SLOWDOWN:
+            if self.factor is None or self.factor < 1.0:
+                raise ConfigurationError(
+                    f"compute_slowdown needs a factor >= 1 (got {self.factor!r})"
+                )
+
+    def describe(self) -> str:
+        """Short human-readable target description for trace records."""
+        if self.kind in LINK_FAULT_KINDS:
+            parts = [f"{self.src or '*'}<->{self.dst or '*'}"]
+            if self.link_kind is not None:
+                parts.append(f"kind={self.link_kind}")
+            if self.kind == FaultKind.LINK_DEGRADE:
+                parts.append(f"fraction={self.fraction:g}")
+            return " ".join(parts)
+        if self.kind == FaultKind.OCS_PORT_FAIL:
+            return f"rail{self.rail}.port{self.port}"
+        target = "all ranks" if self.rank is None else f"rank{self.rank}"
+        return f"{target} x{self.factor:g}"
+
+    def matches_link(self, link: Link) -> bool:
+        """Whether a link event's target patterns select ``link``."""
+        if self.link_kind is not None and link.kind.value != self.link_kind:
+            return False
+        src_pat = self.src if self.src is not None else "*"
+        dst_pat = self.dst if self.dst is not None else "*"
+        if fnmatchcase(link.src, src_pat) and fnmatchcase(link.dst, dst_pat):
+            return True
+        if self.bidirectional:
+            return fnmatchcase(link.src, dst_pat) and fnmatchcase(
+                link.dst, src_pat
+            )
+        return False
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (``None`` fields omitted)."""
+        payload: Dict[str, object] = {"time": self.time, "kind": self.kind.value}
+        for name in ("src", "dst", "link_kind", "fraction", "rail", "port", "rank", "factor"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if not self.bidirectional:
+            payload["bidirectional"] = False
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        known = {
+            "time", "kind", "src", "dst", "link_kind", "bidirectional",
+            "fraction", "rail", "port", "rank", "factor",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault event fields {unknown}; known: {sorted(known)}"
+            )
+        if "time" not in data or "kind" not in data:
+            raise ConfigurationError("a fault event needs 'time' and 'kind'")
+        return cls(**data)
+
+
+#: Values of :attr:`FaultPlan.on_link_fail`.
+LINK_FAIL_POLICIES = ("fail", "reroute")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative list of timed fault events plus the failure policy.
+
+    ``on_link_fail`` selects what happens to a flow whose path crosses a
+    link the plan kills while the flow is pending or on the wire:
+    ``"reroute"`` (the default) resolves a fresh route over the surviving
+    fabric, ``"fail"`` raises :class:`~repro.errors.LinkFailedError`.
+
+    A plan with no events is exactly equivalent to no plan at all — it is
+    asserted bit-for-bit identical in the test suite.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    on_link_fail: str = "reroute"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        if self.on_link_fail not in LINK_FAIL_POLICIES:
+            raise ConfigurationError(
+                f"on_link_fail must be one of {LINK_FAIL_POLICIES}, "
+                f"got {self.on_link_fail!r}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan carries no events (equivalent to no plan)."""
+        return not self.events
+
+    def kinds(self) -> FrozenSet[FaultKind]:
+        """The distinct event kinds the plan contains."""
+        return frozenset(event.kind for event in self.events)
+
+    @property
+    def has_link_events(self) -> bool:
+        """Whether any event mutates topology links (incl. OCS port kills)."""
+        return bool(self.kinds() & TOPOLOGY_FAULT_KINDS)
+
+    def require_supported(
+        self, supported: Iterable[FaultKind], context: str
+    ) -> None:
+        """Raise :class:`ConfigurationError` for event kinds ``context`` lacks."""
+        unsupported = sorted(
+            kind.value for kind in self.kinds() - frozenset(supported)
+        )
+        if unsupported:
+            raise ConfigurationError(
+                f"{context} does not support fault kinds {unsupported}; "
+                f"supported: {sorted(k.value for k in supported)}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "on_link_fail": self.on_link_fail,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        if not isinstance(data, dict) or "events" not in data:
+            raise ConfigurationError(
+                "a fault plan is a JSON object with an 'events' list "
+                "(and an optional 'on_link_fail' policy)"
+            )
+        unknown = sorted(set(data) - {"events", "on_link_fail"})
+        if unknown:
+            # A typo'd policy key silently running with the default would
+            # invert failure semantics; reject like FaultEvent.from_dict.
+            raise ConfigurationError(
+                f"unknown fault plan fields {unknown}; known: "
+                "['events', 'on_link_fail']"
+            )
+        events = tuple(FaultEvent.from_dict(event) for event in data["events"])
+        return cls(
+            events=events,
+            on_link_fail=data.get("on_link_fail", "reroute"),
+        )
+
+    def to_file(self, path: "Path | str") -> None:
+        """Write the plan to ``path`` as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_file(cls, path: "Path | str") -> "FaultPlan":
+        """Load a plan written by :meth:`to_file` (the CLI's ``--fault-plan``)."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read fault plan {path!r}: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+
+def as_fault_plan(value: object) -> FaultPlan:
+    """Coerce a ``faults=`` knob value into a :class:`FaultPlan`.
+
+    Accepts a plan, a :meth:`FaultPlan.to_dict`-shaped mapping, or a bare
+    sequence of event dicts.
+    """
+    if isinstance(value, FaultPlan):
+        return value
+    if isinstance(value, dict):
+        return FaultPlan.from_dict(value)
+    if isinstance(value, (list, tuple)):
+        return FaultPlan(
+            events=tuple(
+                event if isinstance(event, FaultEvent) else FaultEvent.from_dict(event)
+                for event in value
+            )
+        )
+    raise ConfigurationError(
+        f"faults must be a FaultPlan, a plan dict, or a list of events; "
+        f"got {type(value).__name__}"
+    )
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to one simulation, in time order.
+
+    The owner (a network model) wires the hooks below and chooses the drive
+    mode: ``inline=True`` (analytic models — :meth:`advance_to` is called
+    with each collective's ready time) or engine-driven
+    (:meth:`schedule_on`, used by the flow models so faults interrupt flows
+    at their exact instant).  Either way every event is applied exactly once
+    and produces one :class:`~repro.parallelism.trace.FaultRecord`.
+    """
+
+    def __init__(self, plan: FaultPlan, topology: Optional[Topology] = None) -> None:
+        self.plan = plan
+        self.topology = topology
+        #: Whether the owner advances the injector inline (analytic mode)
+        #: instead of scheduling events on a simulation engine (flow mode).
+        self.inline = True
+        #: Called after links were *failed* (removed from service) with their
+        #: keys — the flow simulator re-routes or fails the flows riding them.
+        self.on_links_failed: Optional[Callable[[List[LinkKey], float], None]] = None
+        #: Called after link capacities changed (degrade/restore) with the
+        #: affected keys — the flow simulator re-rates the touched components.
+        self.on_links_changed: Optional[Callable[[List[LinkKey], float], None]] = None
+        #: Called for OCS port failures; owners with a control plane tear the
+        #: port's circuit, mark the port dead, and drop planner caches here.
+        self.on_port_failed: Optional[Callable[[FaultEvent, float], None]] = None
+        self._events: List[FaultEvent] = sorted(
+            plan.events, key=lambda event: event.time
+        )
+        self._applied = [False] * len(self._events)
+        self._records: List[FaultRecord] = []
+        # Compute slowdowns are pure time-indexed queries (no state to
+        # mutate): per-rank override lists plus the all-ranks default, each
+        # sorted by time.  The latest matching event at or before a query
+        # time wins; a rank-specific event overrides the global one only if
+        # it is later.
+        self._compute_events: List[FaultEvent] = [
+            event
+            for event in self._events
+            if event.kind == FaultKind.COMPUTE_SLOWDOWN
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Driving
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pending(self) -> int:
+        """Number of events not applied yet."""
+        return self._applied.count(False)
+
+    def advance_to(self, time: float) -> None:
+        """Apply every unapplied event with ``event.time <= time`` (inline mode)."""
+        for index, event in enumerate(self._events):
+            if event.time > time:
+                break
+            if not self._applied[index]:
+                self._apply(index, event.time)
+
+    def schedule_on(self, engine) -> None:
+        """Schedule every unapplied event on a simulation engine (flow mode)."""
+        self.inline = False
+        for index, event in enumerate(self._events):
+            if self._applied[index]:
+                continue
+            engine.schedule(
+                max(event.time, engine.now),
+                lambda eng, payload: self._apply(payload, eng.now),
+                index,
+            )
+
+    def pop_records(self) -> List[FaultRecord]:
+        """Records of events applied since the last pop (for the trace)."""
+        records = self._records
+        self._records = []
+        return records
+
+    def compute_factor(self, ranks: Sequence[int], time: float) -> float:
+        """Compute-duration multiplier for ``ranks`` at ``time`` (>= 1)."""
+        factor = 1.0
+        if not self._compute_events:
+            return factor
+        for rank in ranks:
+            rank_factor = 1.0
+            for event in self._compute_events:
+                if event.time > time:
+                    break
+                if event.rank is None or event.rank == rank:
+                    rank_factor = event.factor  # latest matching event wins
+            if rank_factor > factor:
+                factor = rank_factor
+        return factor
+
+    # ------------------------------------------------------------------ #
+    # Application
+    # ------------------------------------------------------------------ #
+
+    def _apply(self, index: int, now: float) -> None:
+        if self._applied[index]:
+            return
+        self._applied[index] = True
+        event = self._events[index]
+        num_links = 0
+        if event.kind == FaultKind.LINK_FAIL:
+            num_links = self._apply_link_fail(event, now)
+        elif event.kind == FaultKind.LINK_DEGRADE:
+            num_links = self._apply_link_change(event, now)
+        elif event.kind == FaultKind.LINK_RESTORE:
+            num_links = self._apply_link_restore(event, now)
+        elif event.kind == FaultKind.OCS_PORT_FAIL:
+            if self.on_port_failed is None:
+                raise FaultError(
+                    "this network model cannot apply OCS port failures"
+                )
+            self.on_port_failed(event, now)
+        self._records.append(
+            FaultRecord(
+                time=now,
+                kind=event.kind.value,
+                target=event.describe(),
+                num_links=num_links,
+            )
+        )
+
+    def _require_topology(self, event: FaultEvent) -> Topology:
+        if self.topology is None:
+            raise FaultError(
+                f"{event.kind.value} event needs a routed topology; this "
+                "network model has none"
+            )
+        return self.topology
+
+    def _matching_links(self, event: FaultEvent, links: Iterable[Link]) -> List[Link]:
+        return [link for link in links if event.matches_link(link)]
+
+    def _apply_link_fail(self, event: FaultEvent, now: float) -> int:
+        topology = self._require_topology(event)
+        victims = self._matching_links(event, topology.links())
+        if not victims:
+            raise FaultError(
+                f"link_fail at t={event.time:g}s matched no installed link "
+                f"({event.describe()})"
+            )
+        keys = [link.key for link in victims]
+        for link in victims:
+            topology.fail_link(link.link_id)
+        if self.on_links_failed is not None:
+            self.on_links_failed(keys, now)
+        return len(victims)
+
+    def _apply_link_change(self, event: FaultEvent, now: float) -> int:
+        topology = self._require_topology(event)
+        victims = self._matching_links(event, topology.links())
+        if not victims:
+            raise FaultError(
+                f"link_degrade at t={event.time:g}s matched no installed "
+                f"link ({event.describe()})"
+            )
+        keys = [link.key for link in victims]
+        for link in victims:
+            topology.degrade_link(link.link_id, event.fraction)
+        if self.on_links_changed is not None:
+            self.on_links_changed(keys, now)
+        return len(victims)
+
+    def _apply_link_restore(self, event: FaultEvent, now: float) -> int:
+        topology = self._require_topology(event)
+        failed = self._matching_links(event, topology.failed_links())
+        degraded = self._matching_links(event, topology.degraded_links())
+        if not failed and not degraded:
+            raise FaultError(
+                f"link_restore at t={event.time:g}s matched no failed or "
+                f"degraded link ({event.describe()})"
+            )
+        keys = [link.key for link in failed + degraded]
+        for link in failed:
+            topology.restore_link(link.link_id)
+        for link in degraded:
+            topology.degrade_link(link.link_id, 1.0)
+        if self.on_links_changed is not None:
+            self.on_links_changed(keys, now)
+        return len(failed) + len(degraded)

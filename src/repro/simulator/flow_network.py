@@ -63,6 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from ..parallelism.groups import GroupRegistry
     from ..topology.devices import OCSTechnology
     from ..topology.ocs import CircuitConfiguration
+    from ..topology.photonic import CircuitChangeEvent
 
 #: Called with the completion time when an expanded collective finishes.
 CompletionCallback = Callable[[float], None]
@@ -192,6 +193,12 @@ class FlowNetworkModel(TopologyNetworkModel):
         #: Per-step software launch overhead, matching the analytic alpha term.
         self.per_step_overhead = self._scaleout_link.per_message_overhead
         self._pair_paths: Dict[Tuple[int, int], Tuple[Link, ...]] = {}
+        #: Set when an installed fault plan mutates links: routes are then
+        #: handed to the simulator as deferred resolvers even on static
+        #: packet fabrics, so every flow resolves against the live topology
+        #: at its start instant instead of embedding a route a fault may
+        #: have invalidated.
+        self._fault_deferred = False
         #: Topology version the path cache was built at; a mismatch (circuits
         #: installed or torn since) drops every cached route.
         self._paths_version = topology.version
@@ -210,14 +217,49 @@ class FlowNetworkModel(TopologyNetworkModel):
         reused model (a second ``run_training``, or a second executor sharing
         the model) restarts at an earlier time than the previous run's end —
         which the event engine would reject.  Between iterations every
-        collective has drained, so swapping in a fresh simulator is safe.
+        collective has drained, so swapping in a fresh simulator is safe —
+        except under a fault plan, whose one-shot events and accumulated
+        topology damage cannot be replayed into a fresh clock.
         """
         if time < self.simulator.engine.now:
+            if self.fault_injector is not None:
+                raise SimulationError(
+                    "cannot rewind a flow simulation with a fault plan "
+                    "installed; build a fresh network model per training run"
+                )
             if self.simulator.active_flows or self.simulator.engine.pending:
                 raise SimulationError(
                     "cannot rewind the flow simulator while flows are in flight"
                 )
             self.simulator = FlowSimulator(topology=self.topology)
+
+    def on_iteration_end(self, iteration: int, time: float) -> None:
+        if self.fault_injector is not None:
+            # Settle fault events inside the iteration window even when every
+            # collective drained before they fired, so fault application (and
+            # its trace records) stays deterministic per iteration.
+            self.simulator.engine.run(until=time)
+
+    def install_fault_plan(self, plan) -> None:
+        """Bind a fault plan, scheduling its events on the flow engine.
+
+        Faults interrupt the simulation at their exact instants: link events
+        mutate the topology (bumping the version, which invalidates the
+        route tables and step-item caches), and the simulator re-rates the
+        affected components and re-routes — or fails, per the plan's
+        ``on_link_fail`` policy — the flows whose paths died.
+        """
+        from .faults import FaultInjector
+
+        injector = FaultInjector(plan, topology=self.topology)
+        simulator = self.simulator
+        simulator.link_failure_policy = plan.on_link_fail
+        injector.on_links_failed = simulator.fail_links
+        injector.on_links_changed = simulator.apply_link_change
+        if plan.has_link_events:
+            self._fault_deferred = True
+        injector.schedule_on(simulator.engine)
+        self.fault_injector = injector
 
     def can_expand(self, operation: Operation) -> bool:
         """Whether ``operation`` is expanded into flows (vs priced analytically)."""
@@ -268,7 +310,7 @@ class FlowNetworkModel(TopologyNetworkModel):
         fabrics (``deferred_routes``) return a resolver called at the flow's
         start instant, when the circuits actually exist.
         """
-        if self.deferred_routes:
+        if self.deferred_routes or self._fault_deferred:
             return lambda: self.path_between(transfer.src, transfer.dst)
         return self.path_between(transfer.src, transfer.dst)
 
@@ -320,7 +362,7 @@ class FlowNetworkModel(TopologyNetworkModel):
         drains.
         """
         steps = self._expanded_schedule(operation)
-        if not self.deferred_routes:
+        if not (self.deferred_routes or self._fault_deferred):
             self._prefetch_routes(steps)
         items = self.step_items(steps)
         _InFlightCollective(self, items, on_complete).launch(start_time)
@@ -441,10 +483,26 @@ class PhotonicFlowNetworkModel(FlowNetworkModel):
         #: Reconfiguration records awaiting pickup, keyed by DAG op id.
         self._op_records: Dict[int, List[ReconfigRecord]] = {}
         self.shim: "OpusShim" = self._build_shim()
-        # Installs and tears drop the route cache eagerly (the topology
-        # version check would catch them too; this keeps the cache from
-        # holding torn Link objects between version probes).
-        fabric.add_circuit_listener(lambda _event: self._pair_paths.clear())
+        fabric.add_circuit_listener(self._on_circuit_change)
+
+    def _on_circuit_change(self, event: "CircuitChangeEvent") -> None:
+        """React to a circuit install or tear on the fabric.
+
+        Installs and tears drop the route cache eagerly (the topology
+        version check would catch them too; this keeps the cache from
+        holding torn Link objects between version probes).  A tear
+        additionally confronts the flows *riding* the torn links: the
+        circuit-hold bookkeeping prevents a collective's own circuits from
+        being torn under it, but a flow detoured over another rail's
+        circuits (e.g. around a failed link) is invisible to that
+        accounting — previously it silently kept charging capacity that no
+        longer existed.  Such flows now re-route over the surviving fabric
+        or raise the typed :class:`~repro.errors.LinkFailedError`, per the
+        simulator's failure policy.
+        """
+        self._pair_paths.clear()
+        if not event.installed:
+            self.simulator.fail_link_ids(event.link_ids)
 
     def _build_shim(self) -> "OpusShim":
         from ..core.shim import OpusShim
@@ -569,7 +627,25 @@ class PhotonicFlowNetworkModel(FlowNetworkModel):
         self.shim.start_iteration(iteration, time)
 
     def on_iteration_end(self, iteration: int, time: float) -> None:
+        super().on_iteration_end(iteration, time)
         self.shim.end_iteration(iteration, time)
+
+    def install_fault_plan(self, plan) -> None:
+        """Bind a fault plan; adds OCS port failures to the link machinery."""
+        super().install_fault_plan(plan)
+        self.fault_injector.on_port_failed = self._apply_port_failure
+
+    def _apply_port_failure(self, event, now: float) -> None:
+        """Kill one OCS port: tear its circuit, reroute riders, replan.
+
+        The controller marks the port permanently conflicting and tears the
+        circuit it carried through the fabric, whose circuit-change event
+        lands in :meth:`_on_circuit_change` — re-routing or failing any
+        flows on the wire.  Dropping the planner caches makes every future
+        configuration route around the failed port.
+        """
+        self.controller.fail_port(event.rail, event.port)
+        self.shim.planner.clear_cache()
 
     def _reset_control_plane(self) -> None:
         """Fresh control plane for a rewound clock (a second training run)."""

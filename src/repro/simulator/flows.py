@@ -36,9 +36,19 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
-from ..errors import SimulationError
+from ..errors import LinkFailedError, SimulationError, TopologyError
 from ..topology.base import Link, Topology
 from .engine import SimulationEngine
 
@@ -515,6 +525,16 @@ class FlowSimulator:
         #: Memoized allocations for self-contained batches, keyed by the
         #: identity of the (cached) item list they were injected from.
         self._isolated_rates: Dict[int, Tuple[object, Optional[int], List[float]]] = {}
+        #: What happens to a flow whose path loses a link while the flow is
+        #: pending or on the wire: ``"fail"`` raises the typed
+        #: :class:`~repro.errors.LinkFailedError`, ``"reroute"`` resolves a
+        #: fresh route over the surviving topology.  Fault-aware network
+        #: models set this from their :class:`~repro.simulator.faults.FaultPlan`.
+        self.link_failure_policy: str = "fail"
+        #: link_id -> key of every link with at least one active user, so
+        #: circuit tear-downs (which only know topology link ids) can find
+        #: the flows riding them without scanning the user registry.
+        self._link_id_keys: Dict[int, LinkKey] = {}
 
     # ------------------------------------------------------------------ #
     # Flow management
@@ -670,6 +690,162 @@ class FlowSimulator:
         return stop
 
     # ------------------------------------------------------------------ #
+    # Fault reaction
+    # ------------------------------------------------------------------ #
+
+    def apply_link_change(
+        self, keys: Iterable[LinkKey], now: Optional[float] = None
+    ) -> None:
+        """Re-rate flows after the capacity of ``keys`` changed.
+
+        Called when a fault event degrades or restores link bandwidth: the
+        connected components of flows touching the changed links are
+        re-allocated from the live capacities (everyone else keeps their
+        rates and estimates), and the path-derived caches — per-path static
+        bottlenecks, isolated-batch allocations — are dropped so no future
+        batch replays a rate computed against the old capacity.
+        """
+        if now is None:
+            now = self.engine.now
+        self._path_meta.clear()
+        self._isolated_rates.clear()
+        dirty = [key for key in keys if key in self._link_users]
+        if dirty:
+            self._reallocate((), dirty, now)
+
+    def fail_links(
+        self, keys: Iterable[LinkKey], now: Optional[float] = None
+    ) -> List[Flow]:
+        """React to links that just left the fabric (fault or circuit tear).
+
+        Flows riding a dead link are handled per :attr:`link_failure_policy`:
+        ``"fail"`` (the default) raises :class:`~repro.errors.LinkFailedError`
+        carrying the flow and link, ``"reroute"`` moves each casualty onto a
+        fresh shortest path over the surviving topology (raising the same
+        typed error when no route survives).  Rerouted flows and the
+        survivors they now share links with are re-rated; returns the
+        affected flows.
+        """
+        if now is None:
+            now = self.engine.now
+        self._path_meta.clear()
+        self._isolated_rates.clear()
+        link_users = self._link_users
+        failed_keys = set(keys)
+        casualties: List[Flow] = []
+        seen: Set[Flow] = set()
+        for key in sorted(failed_keys):
+            users = link_users.pop(key, None)
+            if users is None:
+                continue
+            del self._link_id_keys[key[2]]
+            for flow in (users,) if type(users) is not set else users:
+                if flow not in seen:
+                    seen.add(flow)
+                    casualties.append(flow)
+        if not casualties:
+            return []
+        casualties.sort(key=_flow_id_of)
+        reroute = self.link_failure_policy == "reroute"
+        victims: List[Tuple[Flow, Link]] = []
+        for flow in casualties:
+            dead = next(link for link in flow.path if link.key in failed_keys)
+            if not reroute:
+                raise LinkFailedError(
+                    f"flow {flow.flow_id} was on the wire over link "
+                    f"{dead.src}->{dead.dst} (id {dead.link_id}) when it "
+                    f"failed at t={now:g}s (link_failure_policy='fail')",
+                    flow_id=flow.flow_id,
+                    link_key=dead.key,
+                )
+            victims.append((flow, dead))
+        dirty_links: List[LinkKey] = []
+        version = self.topology.version if self.topology is not None else None
+        for flow, dead in victims:
+            self._advance_flow(flow, now)
+            self._unregister_path(flow, failed_keys, dirty_links)
+            flow.path = self._reroute_path(flow, dead, now)
+            flow._added_version = version
+            self._register_path(flow)
+        self._reallocate(casualties, dirty_links, now)
+        return casualties
+
+    def fail_link_ids(
+        self, link_ids: Iterable[int], now: Optional[float] = None
+    ) -> List[Flow]:
+        """Like :meth:`fail_links`, addressed by topology link id.
+
+        Circuit tear-down events only know the topology link ids they
+        removed; this resolves them against the per-id index and is a no-op
+        (no cache invalidation, no allocation work) when no active flow was
+        riding the torn links — the overwhelmingly common case on a healthy
+        circuit fabric.
+        """
+        index = self._link_id_keys
+        keys = [index[link_id] for link_id in link_ids if link_id in index]
+        if not keys:
+            return []
+        return self.fail_links(keys, now)
+
+    def _unregister_path(
+        self, flow: Flow, skip_keys: Set[LinkKey], dirty_links: List[LinkKey]
+    ) -> None:
+        """Remove ``flow`` from its links' user sets (cold fault path)."""
+        link_users = self._link_users
+        for link in flow.path:
+            key = link.key
+            if key in skip_keys:
+                continue
+            users = link_users.get(key)
+            if users is flow:
+                del link_users[key]
+                del self._link_id_keys[key[2]]
+            elif type(users) is set:
+                users.discard(flow)
+                if len(users) == 1:
+                    (link_users[key],) = users
+                dirty_links.append(key)
+
+    def _register_path(self, flow: Flow) -> None:
+        """Register ``flow`` on every link of its path (cold fault path)."""
+        link_users = self._link_users
+        for link in flow.path:
+            key = link.key
+            users = link_users.get(key)
+            if users is None:
+                link_users[key] = flow
+                self._link_id_keys[key[2]] = key
+            elif type(users) is set:
+                users.add(flow)
+            else:
+                link_users[key] = {users, flow}
+        flow._path_latency = sum(link.latency for link in flow.path)
+
+    def _reroute_path(
+        self, flow: Flow, dead: Link, now: float
+    ) -> Tuple[Link, ...]:
+        """A fresh route for a flow whose path lost ``dead``; typed raise if none."""
+        if self.topology is None:
+            raise LinkFailedError(
+                f"flow {flow.flow_id} lost link {dead.src}->{dead.dst} "
+                f"(id {dead.link_id}) at t={now:g}s and no topology is "
+                "attached to re-route over",
+                flow_id=flow.flow_id,
+                link_key=dead.key,
+            )
+        src, dst = flow.path[0].src, flow.path[-1].dst
+        try:
+            return tuple(self.topology.shortest_path(src, dst))
+        except TopologyError as exc:
+            raise LinkFailedError(
+                f"flow {flow.flow_id} lost link {dead.src}->{dead.dst} "
+                f"(id {dead.link_id}) at t={now:g}s and no surviving route "
+                f"from {src!r} to {dst!r} exists",
+                flow_id=flow.flow_id,
+                link_key=dead.key,
+            ) from exc
+
+    # ------------------------------------------------------------------ #
     # Event handlers
     # ------------------------------------------------------------------ #
 
@@ -677,6 +853,7 @@ class FlowSimulator:
         now = engine.now
         batch = self._pending_at.pop(start_time, ())
         link_users = self._link_users
+        link_id_keys = self._link_id_keys
         active = self._active
         topology = self.topology
         version = topology.version if topology is not None else None
@@ -724,6 +901,7 @@ class FlowSimulator:
                 users = link_users.get(key)
                 if users is None:
                     link_users[key] = flow
+                    link_id_keys[key[2]] = key
                     add_batch_link(key)
                 else:
                     if type(users) is set:
@@ -874,6 +1052,7 @@ class FlowSimulator:
                 users = link_users.get(key)
                 if users is flow:
                     del link_users[key]
+                    del self._link_id_keys[key[2]]
                 elif type(users) is set:
                     users.discard(flow)
                     if len(users) == 1:
@@ -1022,20 +1201,24 @@ class FlowSimulator:
     # ------------------------------------------------------------------ #
 
     def _check_links_alive(self, flow: Flow, now: float) -> None:
-        """Reject a flow whose route references links torn from the topology.
+        """Validate (and, under ``"reroute"``, repair) a pending flow's path.
 
         Skipped entirely when the topology version is unchanged since the
         flow was admitted (nothing can have been torn down), which makes the
-        check O(1) on static packet fabrics.
+        check O(1) on static packet fabrics.  When a path link is dead and
+        :attr:`link_failure_policy` is ``"reroute"``, the flow is moved onto
+        a fresh route over the surviving topology before it registers.
 
         Raises
         ------
+        LinkFailedError
+            If a path link was *failed* by fault injection (or no surviving
+            route exists under the reroute policy).
         SimulationError
-            If any link of the flow's path is no longer installed (or was
-            replaced by a different link under the same id) — on circuit
-            fabrics this means a reconfiguration tore the circuit down
-            between routing and flow start, and charging the stale capacity
-            would silently corrupt the allocation.
+            If a path link is no longer installed for any other reason — on
+            circuit fabrics this means a reconfiguration tore the circuit
+            down between routing and flow start, and charging the stale
+            capacity would silently corrupt the allocation.
         """
         if self.topology is None:
             return
@@ -1046,6 +1229,18 @@ class FlowSimulator:
                 self.topology.link(link.link_id) is link
             ):
                 continue
+            if self.link_failure_policy == "reroute":
+                flow.path = self._reroute_path(flow, link, now)
+                flow._added_version = self.topology.version
+                return
+            if self.topology.link_failed(link.link_id):
+                raise LinkFailedError(
+                    f"flow {flow.flow_id} starting at t={now:g}s is routed "
+                    f"over failed link {link.src}->{link.dst} "
+                    f"(id {link.link_id}) (link_failure_policy='fail')",
+                    flow_id=flow.flow_id,
+                    link_key=link.key,
+                )
             raise SimulationError(
                 f"flow {flow.flow_id} starting at t={now:g}s is routed over "
                 f"torn-down link {link.src}->{link.dst} (id {link.link_id}); "

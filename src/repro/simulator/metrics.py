@@ -27,6 +27,8 @@ class IterationMetrics:
     exposed_reconfig_time: float
     num_reconfigurations: int
     scaleout_bytes: float
+    #: Fault-injection events applied during the iteration.
+    num_faults: int = 0
 
     @property
     def comm_time(self) -> float:
@@ -68,6 +70,7 @@ def iteration_metrics(trace: IterationTrace) -> IterationMetrics:
         exposed_reconfig_time=trace.total_reconfiguration_blocking(),
         num_reconfigurations=trace.num_reconfigurations(),
         scaleout_bytes=trace.total_scaleout_bytes(),
+        num_faults=trace.num_faults(),
     )
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..collectives.cost_model import LinkParameters, RingCostModel, TreeCostModel
 from ..errors import ConfigurationError
@@ -30,6 +30,9 @@ from ..parallelism.dag import Operation
 from ..parallelism.mesh import DeviceMesh
 from ..parallelism.trace import ReconfigRecord
 from ..topology.devices import ClusterSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultInjector, FaultPlan
 
 
 @dataclass(frozen=True)
@@ -66,6 +69,23 @@ class NetworkModel(ABC):
         self._ring = RingCostModel()
         self._tree = TreeCostModel()
         self._scaleout_groups: dict = {}
+        #: Bound fault injector (``None`` on healthy runs).  Set by
+        #: :meth:`install_fault_plan`; the DAG executor reads it for compute
+        #: slowdowns and trace records.
+        self.fault_injector: Optional["FaultInjector"] = None
+
+    def install_fault_plan(self, plan: "FaultPlan") -> None:
+        """Bind a fault plan to this model.
+
+        The base implementation supports plans without fabric events
+        (compute slowdowns only): the injector runs inline and the executor
+        settles it against each iteration's end time.  Models with a routed
+        topology or a circuit control plane override this to wire link and
+        OCS-port events into their own machinery.
+        """
+        from .faults import FaultInjector
+
+        self.fault_injector = FaultInjector(plan)
 
     # ------------------------------------------------------------------ #
     # Shared helpers

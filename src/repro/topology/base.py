@@ -120,6 +120,10 @@ class Topology:
         #: endpoints without this.
         self._routing_adjacency: Optional[Dict[str, List[Tuple[str, Link]]]] = None
         self._routing_adjacency_version = -1
+        #: Links taken out of service by fault injection, restorable by id.
+        self._failed_links: Dict[int, Link] = {}
+        #: Original bandwidth of links currently degraded below capacity.
+        self._original_bandwidth: Dict[int, float] = {}
 
     @property
     def version(self) -> int:
@@ -189,7 +193,93 @@ class Topology:
         if link is None:
             raise TopologyError(f"link id {link_id} does not exist")
         self._graph.remove_edge(link.src, link.dst, key=link_id)
+        self._original_bandwidth.pop(link_id, None)
         self._version += 1
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+
+    def fail_link(self, link_id: int) -> Link:
+        """Take a link out of service, remembering it for :meth:`restore_link`.
+
+        Unlike :meth:`remove_link` (a permanent tear-down), a failed link
+        keeps its :class:`Link` object registered under ``link_id`` so it can
+        be restored with its identity — and so consumers holding a route over
+        it can distinguish "failed" (:meth:`link_failed`) from "never
+        existed".  Bumps the topology version, which invalidates every
+        version-keyed route table and cache.
+        """
+        link = self._links.pop(link_id, None)
+        if link is None:
+            raise TopologyError(f"link id {link_id} does not exist")
+        self._graph.remove_edge(link.src, link.dst, key=link_id)
+        self._failed_links[link_id] = link
+        self._version += 1
+        return link
+
+    def restore_link(self, link_id: int) -> Link:
+        """Return a previously failed link to service (same id and object)."""
+        link = self._failed_links.pop(link_id, None)
+        if link is None:
+            raise TopologyError(f"link id {link_id} is not failed")
+        self._links[link_id] = link
+        self._graph.add_edge(link.src, link.dst, key=link_id, link=link)
+        self._version += 1
+        return link
+
+    def link_failed(self, link_id: int) -> bool:
+        """Whether ``link_id`` is currently failed (out of service but known)."""
+        return link_id in self._failed_links
+
+    def failed_links(self) -> List[Link]:
+        """Every currently failed link."""
+        return list(self._failed_links.values())
+
+    def degrade_link(self, link_id: int, fraction: float) -> Link:
+        """Scale a link's capacity to ``fraction`` of its *original* bandwidth.
+
+        ``fraction`` must be in ``(0, 1]``; repeated degradations compose
+        against the original capacity (not each other), and ``fraction=1.0``
+        restores the link to full health.  Bumps the topology version so the
+        analytic models' group parameters and the flow-level route tables
+        recompute from the degraded capacity.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise TopologyError(
+                f"degrade fraction must be in (0, 1], got {fraction!r}"
+            )
+        link = self.link(link_id)
+        original = self._original_bandwidth.setdefault(link_id, link.bandwidth)
+        link.bandwidth = original * fraction
+        if fraction == 1.0:
+            del self._original_bandwidth[link_id]
+        self._version += 1
+        return link
+
+    def link_degradation(self, link_id: int) -> float:
+        """The remaining capacity fraction of a link (1.0 when healthy).
+
+        Answers for failed links too: a link can be degraded *and* failed,
+        and it keeps its degraded capacity across fail/restore cycles.
+        """
+        link = self._links.get(link_id) or self._failed_links.get(link_id)
+        if link is None:
+            raise TopologyError(f"link id {link_id} does not exist")
+        original = self._original_bandwidth.get(link_id)
+        return 1.0 if original is None else link.bandwidth / original
+
+    def degraded_links(self) -> List[Link]:
+        """Every link currently running below its original capacity.
+
+        Includes degraded links that are currently *failed* — their reduced
+        capacity survives a restore, so consumers undoing degradations must
+        see them.
+        """
+        return [
+            self._links.get(link_id) or self._failed_links[link_id]
+            for link_id in self._original_bandwidth
+        ]
 
     # ------------------------------------------------------------------ #
     # Lookup

@@ -177,6 +177,7 @@ class OpticalCircuitSwitch:
         self.technology = technology
         self._port_to_peer: Dict[int, int] = {}
         self._reconfiguration_count = 0
+        self._failed_ports: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -217,17 +218,53 @@ class OpticalCircuitSwitch:
         return self._port_to_peer.get(port_a) == port_b
 
     def free_ports(self) -> List[int]:
-        """Return the ports not used by any installed circuit."""
-        return [p for p in range(self.radix) if p not in self._port_to_peer]
+        """Return the healthy ports not used by any installed circuit."""
+        return [
+            p
+            for p in range(self.radix)
+            if p not in self._port_to_peer and p not in self._failed_ports
+        ]
+
+    @property
+    def failed_ports(self) -> FrozenSet[int]:
+        """Ports taken out of service by fault injection."""
+        return frozenset(self._failed_ports)
+
+    def port_failed(self, port: int) -> bool:
+        """Whether ``port`` has failed (fault injection)."""
+        self._check_port(port)
+        return port in self._failed_ports
 
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
 
+    def fail_port(self, port: int) -> Optional[Circuit]:
+        """Take ``port`` out of service permanently (fault injection).
+
+        Any circuit terminating on the port is torn down and returned;
+        further installs touching the port raise :class:`CircuitError`.  A
+        failed port stays failed across :meth:`clear` — it is a hardware
+        fault, not crossbar state.
+        """
+        self._check_port(port)
+        self._failed_ports.add(port)
+        peer = self._port_to_peer.get(port)
+        if peer is None:
+            return None
+        victim = Circuit(port, peer)
+        self.tear_down(victim)
+        return victim
+
     def install(self, circuit: Circuit) -> None:
         """Install one circuit; raises :class:`CircuitConflictError` on conflict."""
         for port in circuit.ports:
             self._check_port(port)
+            if port in self._failed_ports:
+                raise CircuitError(
+                    f"{self.name}: port {port} has failed and cannot carry "
+                    f"circuit {circuit}"
+                )
             peer = self._port_to_peer.get(port)
             if peer is not None and not circuit.uses_port(peer):
                 raise CircuitConflictError(

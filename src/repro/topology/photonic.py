@@ -147,6 +147,56 @@ class PhotonicRail:
         """Build (but do not install) a circuit between two endpoints."""
         return Circuit(self.ocs_port(a), self.ocs_port(b))
 
+    # ------------------------------------------------------------------ #
+    # Port health (fault injection)
+    # ------------------------------------------------------------------ #
+
+    def fail_port(self, port: int) -> Optional[Circuit]:
+        """Take one OCS port out of service; returns the circuit it carried.
+
+        Failed ports are treated as permanently conflicting: the
+        configuration builders below (and the circuit planner on top of
+        them) route rings and pairs through each domain's surviving NIC
+        ports instead, and installs that would touch the port raise.
+        """
+        return self.ocs.fail_port(port)
+
+    def healthy_nic_ports(self, domain: int) -> Tuple[int, ...]:
+        """NIC ports of ``domain`` whose OCS ports are still in service."""
+        return tuple(
+            nic_port
+            for nic_port in range(self.ports_per_gpu)
+            if not self.ocs.port_failed(
+                self.ocs_port(RailEndpoint(domain, nic_port))
+            )
+        )
+
+    def healthy_port(self, domain: int, preferred: int) -> int:
+        """``preferred`` if its OCS port is healthy, else the first survivor."""
+        if not self.ocs.port_failed(
+            self.ocs_port(RailEndpoint(domain, preferred))
+        ):
+            return preferred
+        healthy = self.healthy_nic_ports(domain)
+        if not healthy:
+            raise CircuitError(
+                f"rail {self.rail}: domain {domain} has no healthy NIC port "
+                "left (fault injection)"
+            )
+        return healthy[0]
+
+    def healthy_port_pair(self, domain: int, preferred: Tuple[int, ...]) -> Tuple[int, int]:
+        """An (in, out) NIC-port pair for a ring member, avoiding failed ports."""
+        healthy = self.healthy_nic_ports(domain)
+        if len(healthy) >= 2:
+            if preferred[0] in healthy and preferred[1] in healthy:
+                return preferred[0], preferred[1]
+            return healthy[0], healthy[1]
+        raise CircuitError(
+            f"rail {self.rail}: domain {domain} needs two healthy NIC ports "
+            f"for a ring but has {len(healthy)} (fault injection)"
+        )
+
     def ring_configuration(
         self,
         domains: Sequence[int],
@@ -175,7 +225,8 @@ class PhotonicRail:
         if len(members) == 2:
             a, b = members
             circuit = self.circuit_between(
-                RailEndpoint(a, nic_ports[0]), RailEndpoint(b, nic_ports[0])
+                RailEndpoint(a, self.healthy_port(a, nic_ports[0])),
+                RailEndpoint(b, self.healthy_port(b, nic_ports[0])),
             )
             return CircuitConfiguration((circuit,))
         if len(nic_ports) < 2:
@@ -183,13 +234,18 @@ class PhotonicRail:
                 f"a ring over {len(members)} domains needs two NIC ports per GPU "
                 "(one per neighbor); got only one (constraint C1/C3)"
             )
+        preferred = (nic_ports[0], nic_ports[1])
+        ports = {
+            domain: self.healthy_port_pair(domain, preferred)
+            for domain in members
+        }
         circuits = []
         for index, domain in enumerate(members):
             next_domain = members[(index + 1) % len(members)]
             circuits.append(
                 self.circuit_between(
-                    RailEndpoint(domain, nic_ports[1]),
-                    RailEndpoint(next_domain, nic_ports[0]),
+                    RailEndpoint(domain, ports[domain][1]),
+                    RailEndpoint(next_domain, ports[next_domain][0]),
                 )
             )
         return CircuitConfiguration(circuits)
@@ -200,7 +256,8 @@ class PhotonicRail:
         """Build point-to-point circuits between the given domain pairs."""
         circuits = [
             self.circuit_between(
-                RailEndpoint(a, nic_port), RailEndpoint(b, nic_port)
+                RailEndpoint(a, self.healthy_port(a, nic_port)),
+                RailEndpoint(b, self.healthy_port(b, nic_port)),
             )
             for a, b in pairs
         ]

@@ -13,6 +13,22 @@ from repro.parallelism.workloads import small_test_workload
 from repro.topology.devices import perlmutter_testbed
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace files from the current simulation "
+        "output instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """Whether golden-trace tests should rewrite their reference files."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def tiny_workload():
     """An 8-rank Tiny-1B workload (TP=2, FSDP=2, PP=2)."""

@@ -326,3 +326,103 @@ def test_allocator_rejects_nan_free_masked_infinities():
     ]
     rates = max_min_fair_rates(flows)
     assert all(math.isinf(rate) for rate in rates.values())
+
+
+# --------------------------------------------------------------------------- #
+# Cache invalidation under fault events
+# --------------------------------------------------------------------------- #
+
+
+def test_fault_events_invalidate_route_tables_and_group_parameters(tiny_cluster):
+    """Degrading a link must drop routes, step items, and analytic params."""
+    from repro.simulator.fabric_network import FatTreeNetworkModel
+    from repro.topology.fattree import build_fat_tree_fabric
+
+    fabric = build_fat_tree_fabric(tiny_cluster)
+    mesh = DeviceMesh(ParallelismConfig(tp=4, dp=2), tiny_cluster)
+    analytic = FatTreeNetworkModel(tiny_cluster, mesh, fabric=fabric)
+    flow_model = FlowNetworkModel(tiny_cluster, mesh, fabric.topology)
+
+    group = (0, 4)
+    healthy_params = analytic.group_link_parameters(group)
+    assert analytic.group_link_parameters(group) is healthy_params  # cache hit
+
+    op = CollectiveOp(
+        collective=CollectiveType.SEND_RECV,
+        group=group,
+        size_bytes=1e6,
+        parallelism="pp",
+    )
+    steps = expand(op)
+    flow_model._prefetch_routes(steps)
+    items = flow_model.step_items(steps)
+    path = flow_model.path_between(0, 4)
+
+    # A fault degrades every link of the route to half capacity.
+    for link in path:
+        fabric.topology.degrade_link(link.link_id, 0.5)
+
+    degraded_params = analytic.group_link_parameters(group)
+    assert degraded_params is not healthy_params
+    assert degraded_params.bandwidth == pytest.approx(
+        healthy_params.bandwidth * 0.5
+    )
+    flow_model._prefetch_routes(steps)
+    assert flow_model.step_items(steps) is not items
+    assert flow_model.path_between(0, 4) is not path
+
+
+def test_path_meta_and_isolated_memo_invalidate_on_link_change():
+    """Re-injecting a cached item list after a degrade uses the new capacity.
+
+    Both per-path static bottlenecks (the solo fast path) and the
+    isolated-batch allocation memo key on object identity, so a capacity
+    change must explicitly drop them — otherwise the same (path, items)
+    objects would replay rates computed against the healthy fabric.
+    """
+    from repro.topology.base import NodeKind, Topology
+
+    topology = Topology(name="memo")
+    topology.add_node("a", NodeKind.GPU)
+    topology.add_node("b", NodeKind.GPU)
+    link = topology.add_link(
+        "a", "b", bandwidth=100.0, latency=0.0, kind=LinkKind.ELECTRICAL
+    )
+    sim = FlowSimulator(topology=topology)
+    shared_path = (link,)
+    items = [(shared_path, 300.0), (shared_path, 300.0)]
+    ends = []
+    sim.add_flows(items, start_time=0.0, on_complete=ends.append)
+    sim.run()
+    assert ends == [pytest.approx(6.0)]  # two flows at 50 B/s each
+
+    topology.degrade_link(link.link_id, 0.5)
+    sim.apply_link_change([link.key])
+    sim.add_flows(items, start_time=ends[0], on_complete=ends.append)
+    sim.run()
+    # Same item list object, half the capacity: 25 B/s each -> 12 s more.
+    assert ends[1] == pytest.approx(18.0)
+
+    # Solo fast path: one flow on the degraded link must run at 50, not 100.
+    solo = sim.add_flow(shared_path, 500.0, start_time=ends[1])
+    sim.run()
+    assert solo.finish_time == pytest.approx(18.0 + 10.0)
+
+
+def test_expansion_memo_is_topology_independent():
+    """Collective expansions are rank-level; fault events must not perturb
+    them (and therefore need not invalidate the memo)."""
+    from repro.topology.base import NodeKind, Topology
+
+    expansion_cache_clear()
+    op = _collective(CollectiveType.ALL_REDUCE, (0, 1, 2, 3), 4096.0)
+    before = expand_cached(op)
+    topology = Topology(name="scratch")
+    topology.add_node("a", NodeKind.GPU)
+    topology.add_node("b", NodeKind.GPU)
+    link = topology.add_link(
+        "a", "b", bandwidth=100.0, latency=0.0, kind=LinkKind.ELECTRICAL
+    )
+    topology.degrade_link(link.link_id, 0.5)
+    topology.fail_link(link.link_id)
+    assert expand_cached(op) is before

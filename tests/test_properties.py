@@ -1,0 +1,208 @@
+"""Property-based differential harness: seeded random fabrics and flow mixes.
+
+Each case builds a small random topology (a connected line plus random chords,
+random per-link capacities) and a random mix of point-to-point transfers
+routed over it, then asserts invariants that must hold for *any* such input:
+
+* **flow >= analytic** — the flow-level completion of every transfer is never
+  earlier than its analytic lower bound (size / path bottleneck + latency);
+  max–min fair sharing can only slow a flow down, never speed it up;
+* **equality when contention-free** — when the sampled paths are pairwise
+  link-disjoint, the two models agree exactly;
+* **capacity feasibility** — max–min fair allocations never oversubscribe any
+  link, including on degraded capacity sets;
+* **degradation monotonicity** — degrading a random subset of links never
+  *decreases* the makespan of the same flow mix;
+* **allocator agreement** — the numpy water-filling and the pure-Python
+  progressive filling agree bit-for-bit, including on faulted (links removed)
+  and degraded (capacities scaled) variants of the sharing graph.
+
+Everything is seeded (25 cases per invariant in tier-1) so the suite is
+deterministic — no flakes, no hypothesis dependency.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.simulator.flows import (
+    FlowSimulator,
+    _max_min_fair_rates_numpy,
+    _max_min_fair_rates_python,
+    max_min_fair_rates,
+)
+from repro.topology.base import LinkKind, NodeKind, Topology
+
+SEEDS = range(25)
+
+_CAPACITIES = (50.0, 100.0, 200.0, 400.0)
+
+
+def _random_topology(rng):
+    """A connected random digraph: a bidirectional line plus random chords."""
+    num_nodes = rng.randint(4, 9)
+    topology = Topology(name="random")
+    names = [f"n{i}" for i in range(num_nodes)]
+    for name in names:
+        topology.add_node(name, NodeKind.GPU)
+    for i in range(num_nodes - 1):
+        topology.add_bidirectional_link(
+            names[i],
+            names[i + 1],
+            bandwidth=rng.choice(_CAPACITIES),
+            latency=rng.choice([0.0, 1e-6]),
+            kind=LinkKind.ELECTRICAL,
+        )
+    for _ in range(rng.randint(0, num_nodes)):
+        a, b = rng.sample(names, 2)
+        topology.add_bidirectional_link(
+            a,
+            b,
+            bandwidth=rng.choice(_CAPACITIES),
+            latency=rng.choice([0.0, 1e-6]),
+            kind=LinkKind.ELECTRICAL,
+        )
+    return topology, names
+
+
+def _random_transfers(rng, topology, names):
+    """Random (path, size) transfers routed over the topology."""
+    transfers = []
+    for _ in range(rng.randint(2, 8)):
+        src, dst = rng.sample(names, 2)
+        path = tuple(topology.shortest_path(src, dst))
+        size = rng.choice([1e3, 1e4, 1e5]) * rng.randint(1, 9)
+        transfers.append((path, size))
+    return transfers
+
+
+def _analytic_time(path, size):
+    """The alpha-beta lower bound: bottleneck-rate drain plus path latency."""
+    bottleneck = min(link.bandwidth for link in path)
+    latency = sum(link.latency for link in path)
+    return size / bottleneck + latency
+
+
+def _run_flow(transfers):
+    """Simulate the transfers together from t=0; returns per-flow finishes."""
+    sim = FlowSimulator()
+    flows = [
+        sim.add_flow(path, size, start_time=0.0) for path, size in transfers
+    ]
+    sim.run()
+    return [flow.finish_time for flow in flows]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flow_time_never_beats_the_analytic_bound(seed):
+    rng = random.Random(seed)
+    topology, names = _random_topology(rng)
+    transfers = _random_transfers(rng, topology, names)
+    finishes = _run_flow(transfers)
+    for (path, size), finish in zip(transfers, finishes):
+        bound = _analytic_time(path, size)
+        assert finish >= bound * (1 - 1e-9), (path, size, finish, bound)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flow_equals_analytic_when_paths_are_disjoint(seed):
+    rng = random.Random(seed)
+    topology, names = _random_topology(rng)
+    transfers = _random_transfers(rng, topology, names)
+    # Keep only transfers that share no link with an earlier-kept one.
+    used = set()
+    disjoint = []
+    for path, size in transfers:
+        keys = {link.key for link in path}
+        if keys & used:
+            continue
+        used |= keys
+        disjoint.append((path, size))
+    finishes = _run_flow(disjoint)
+    for (path, size), finish in zip(disjoint, finishes):
+        assert finish == pytest.approx(_analytic_time(path, size), rel=1e-9)
+
+
+def _per_link_load(transfers, rates):
+    load = {}
+    capacity = {}
+    for index, (path, _size) in enumerate(transfers):
+        rate = rates[index]
+        if math.isinf(rate):
+            continue
+        for link in path:
+            load[link.key] = load.get(link.key, 0.0) + rate
+            capacity[link.key] = link.bandwidth
+    return load, capacity
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_max_min_allocation_never_oversubscribes_a_link(seed):
+    rng = random.Random(seed)
+    topology, names = _random_topology(rng)
+    transfers = _random_transfers(rng, topology, names)
+    # Degrade a random subset of links first: feasibility must hold against
+    # whatever capacities the fabric currently has.
+    for link in topology.links():
+        if rng.random() < 0.3:
+            topology.degrade_link(link.link_id, rng.choice([0.1, 0.5, 0.9]))
+    sim = FlowSimulator()
+    flows = [
+        sim.add_flow(path, size, start_time=0.0) for path, size in transfers
+    ]
+    sim.engine.run(until=0.0)  # start the flows, allocating rates
+    rates = [flow.rate for flow in flows]
+    load, capacity = _per_link_load(transfers, rates)
+    for key, total in load.items():
+        assert total <= capacity[key] * (1 + 1e-9), (key, total, capacity[key])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_degrading_links_never_decreases_the_makespan(seed):
+    rng = random.Random(seed)
+    topology, names = _random_topology(rng)
+    transfers = _random_transfers(rng, topology, names)
+    healthy_makespan = max(_run_flow(transfers))
+    degraded_any = False
+    for link in topology.links():
+        if rng.random() < 0.4:
+            topology.degrade_link(link.link_id, rng.choice([0.1, 0.5, 0.9]))
+            degraded_any = True
+    if not degraded_any:
+        first = topology.links()[0]
+        topology.degrade_link(first.link_id, 0.5)
+    degraded_makespan = max(_run_flow(transfers))
+    assert degraded_makespan >= healthy_makespan * (1 - 1e-9)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_allocators_agree_on_faulted_and_degraded_link_sets(seed):
+    from repro.simulator.flows import Flow
+
+    rng = random.Random(seed)
+    topology, names = _random_topology(rng)
+    transfers = _random_transfers(rng, topology, names)
+    # Degrade some capacities in place (mutates link.bandwidth)...
+    for link in topology.links():
+        if rng.random() < 0.3:
+            topology.degrade_link(link.link_id, rng.choice([0.1, 0.5]))
+    # ...and model failures of non-path links by a capacities override that
+    # zeroes a random *unused* link (failed links under live flows raise in
+    # the simulator; the allocators themselves only see capacity sets).
+    used = {link.key for path, _size in transfers for link in path}
+    overrides = {}
+    for link in topology.links():
+        if link.key not in used and rng.random() < 0.2:
+            overrides[link.key] = 0.0
+    flows = [
+        Flow(flow_id=i, path=path, size_bytes=size, start_time=0.0)
+        for i, (path, size) in enumerate(transfers)
+    ]
+    reference = _max_min_fair_rates_python(flows, overrides or None)
+    vectorized = _max_min_fair_rates_numpy(flows, overrides or None)
+    dispatched = max_min_fair_rates(flows, overrides or None)
+    assert reference.keys() == vectorized.keys() == dispatched.keys()
+    for flow_id, expected in reference.items():
+        assert vectorized[flow_id] == pytest.approx(expected, rel=1e-9)
+        assert dispatched[flow_id] == pytest.approx(expected, rel=1e-9)
