@@ -37,8 +37,24 @@ from repro.topology.devices import perlmutter_testbed
 #: exercise pure max–min fair sharing.  The ``fattree-faulted`` variant runs
 #: the same fat-tree scenario under a fault plan (whole fabric degraded 10%
 #: plus one NIC attachment down), so the fault path — deferred routes,
-#: mid-run reallocation, reroute-on-failure — is perf-gated too.
-FABRICS = ("electrical", "fattree", "photonic", "fattree-faulted")
+#: mid-run reallocation, reroute-on-failure — is perf-gated too.  The
+#: ``fattree-approx`` variant enables the contention-scaling knobs
+#: (ε-approximate reallocation + event coarsening), so the approximate
+#: engine is perf-gated alongside the exact one and its allocator counters
+#: land in the BENCH record.
+FABRICS = ("electrical", "fattree", "photonic", "fattree-faulted", "fattree-approx")
+
+#: Knobs behind the ``fattree-approx`` benchmark variant.
+APPROX_KNOBS = {"allocator_epsilon": 0.05, "coarsen_quantum": 1e-6}
+
+#: Allocator counters copied from the run's metrics into the BENCH record
+#: (flow mode only; the analytic model has no allocator).
+STAT_KEYS = (
+    "allocator_invocations",
+    "rerated_components",
+    "rerated_flows",
+    "epsilon_skips",
+)
 
 #: The fault plan behind the ``fattree-faulted`` benchmark variant.
 FAULT_PLAN = FaultPlan(
@@ -68,6 +84,10 @@ def build_scenario(fabric: str, num_nodes: int, network_mode: str) -> Scenario:
     knobs: dict = {"network_mode": network_mode}
     if variant == "faulted":
         knobs["faults"] = FAULT_PLAN
+    elif variant == "approx" and network_mode == "flow":
+        # The knobs only exist in flow mode; the analytic side of the ratio
+        # is the plain fat tree (same scenario, same pricing).
+        knobs.update(APPROX_KNOBS)
     return Scenario(
         workload=small_test_workload(pp=1, dp=num_nodes, tp=4),
         cluster=cluster,
@@ -81,22 +101,29 @@ def build_scenario(fabric: str, num_nodes: int, network_mode: str) -> Scenario:
 def run_point(fabric: str, num_nodes: int, network_mode: str, repeat: int = 3) -> dict:
     scenario = build_scenario(fabric, num_nodes, network_mode)
     best = None
-    steady = 0.0
+    metrics: dict = {}
     for _ in range(repeat):
         started = time.perf_counter()
         result = run_scenario(scenario)
         elapsed = time.perf_counter() - started
-        steady = result.metrics["steady_iteration_time"]
+        metrics = result.metrics
         best = elapsed if best is None else min(best, elapsed)
-    return {
+    point = {
         "bench": "flow_mode",
         "fabric": fabric,
         "gpus": num_nodes * 4,
         "network_mode": network_mode,
         "wall_time_s": round(best, 6),
-        "steady_iteration_s": steady,
+        "steady_iteration_s": metrics["steady_iteration_time"],
         "iterations": NUM_ITERATIONS,
     }
+    # Allocator counters (flow mode only) make the contention-scaling knobs'
+    # effect auditable from the BENCH line itself: the approx variant should
+    # show epsilon_skips > 0 and fewer re-rated components per invocation.
+    for key in STAT_KEYS:
+        if key in metrics:
+            point[key] = int(metrics[key])
+    return point
 
 
 def main(argv) -> int:

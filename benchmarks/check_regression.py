@@ -16,7 +16,9 @@ Each ratio is compared against ``benchmarks/baseline.json``: the gate fails
 when ``current > baseline * tolerance`` (default tolerance 1.3, i.e. a 30%
 relative slowdown of the measured machinery).  A deliberate 2x slowdown of
 the flow simulator roughly doubles every ``flow_mode`` ratio and trips the
-gate on any runner.
+gate on any runner.  The baseline's optional ``tolerance_overrides`` map
+loosens (or tightens) individual identities — keys match exactly or, with a
+trailing ``*``, as a prefix — and is preserved verbatim across ``--update``.
 
 Simulation *results* are also pinned: the flow-mode ``steady_iteration_s``
 values are bitwise-deterministic for a given code version, so they are
@@ -102,6 +104,25 @@ def distill(records: List[dict]) -> Tuple[Dict[str, float], Dict[str, float]]:
     return ratios, steady
 
 
+def tolerance_for(key: str, default: float, overrides: Dict[str, float]) -> float:
+    """Resolve ``key``'s tolerance against per-identity baseline overrides.
+
+    An override key either matches exactly or, with a trailing ``*``, as a
+    prefix (``"flow_mode:fattree-approx*"`` covers every GPU count of that
+    variant).  Exact matches win over prefixes; among prefixes the longest
+    wins, so narrower overrides beat broader ones.
+    """
+    exact = overrides.get(key)
+    if exact is not None:
+        return exact
+    best: Tuple[int, float] = (-1, default)
+    for pattern, value in overrides.items():
+        if pattern.endswith("*") and key.startswith(pattern[:-1]):
+            if len(pattern) > best[0]:
+                best = (len(pattern), value)
+    return best[1]
+
+
 def check(
     ratios: Dict[str, float],
     steady: Dict[str, float],
@@ -112,19 +133,21 @@ def check(
     failures: List[str] = []
     matched = 0
     slack = baseline.get("absolute_slack", DEFAULT_ABSOLUTE_SLACK)
+    overrides = baseline.get("tolerance_overrides", {})
     for key, reference in sorted(baseline.get("ratios", {}).items()):
         current = ratios.get(key)
         if current is None:
             continue  # baseline covers more configs than this run measured
         matched += 1
+        limit_tolerance = tolerance_for(key, tolerance, overrides)
         # Slack is capped at the reference itself so small ratios (e.g. the
         # sub-1 allocator ratios) keep a meaningful gate: the limit never
         # exceeds (tolerance + 1) x baseline.
-        limit = reference * tolerance + min(slack, reference)
+        limit = reference * limit_tolerance + min(slack, reference)
         if current > limit:
             failures.append(
                 f"perf regression: {key} ratio {current:.3f} exceeds "
-                f"baseline {reference:.3f} x tolerance {tolerance:g} "
+                f"baseline {reference:.3f} x tolerance {limit_tolerance:g} "
                 f"(limit {limit:.3f})"
             )
     for key, reference in sorted(baseline.get("steady", {}).items()):
@@ -189,6 +212,13 @@ def main(argv=None) -> int:
                 key: value for key, value in sorted(steady.items())
             },
         }
+        # Hand-maintained per-identity tolerances (see ``tolerance_for``)
+        # survive a baseline refresh — only the measurements regenerate.
+        if args.baseline.exists():
+            previous = json.loads(args.baseline.read_text())
+            overrides = previous.get("tolerance_overrides")
+            if overrides:
+                baseline["tolerance_overrides"] = overrides
         args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
         print(f"baseline updated: {args.baseline} ({len(ratios)} ratios)")
         return 0

@@ -37,6 +37,13 @@ installed when the flows start, and real flow drains feed the controller's
 busy-circuit bookkeeping
 (:class:`~repro.simulator.flow_network.PhotonicFlowNetworkModel`).
 
+Every flow-capable backend also accepts the contention-scaling knobs
+``allocator_epsilon``, ``coarsen_quantum``, and ``fill_workers`` (flow mode
+only; see :class:`~repro.simulator.flows.FlowSimulator`): ε-approximate
+reallocation with deferred-dirty tracking, rate-change event coarsening onto
+a time quantum, and parallel per-component water-filling.  All default to
+off, which is bit-for-bit the exact engine.
+
 Every backend additionally accepts a ``faults`` knob — a
 :class:`~repro.simulator.faults.FaultPlan` (or its dict/list JSON form) of
 timed fabric faults: link failure/recovery, bandwidth degradation, OCS port
@@ -187,6 +194,45 @@ def _check_network_mode(network_mode: object) -> str:
     return str(mode)
 
 
+#: Names of the flow-mode contention-scaling knobs shared by every
+#: flow-capable backend (see :class:`~repro.simulator.flows.FlowSimulator`).
+FLOW_APPROX_KNOBS = ("allocator_epsilon", "coarsen_quantum", "fill_workers")
+
+
+def _flow_approx_knobs(
+    mode: str,
+    backend: str,
+    allocator_epsilon: object,
+    coarsen_quantum: object,
+    fill_workers: object,
+) -> Dict[str, object]:
+    """Validate the contention-scaling knobs for one backend instantiation.
+
+    Returns the keyword arguments for the flow-network factory.  The knobs
+    only make sense in flow mode — the analytic model has no allocator to
+    approximate — so nonzero values under ``analytic`` are a configuration
+    error rather than a silent no-op.
+    """
+    epsilon = 0.0 if allocator_epsilon is None else float(allocator_epsilon)
+    quantum = 0.0 if coarsen_quantum is None else float(coarsen_quantum)
+    workers = 0 if fill_workers is None else int(fill_workers)
+    if epsilon < 0.0 or quantum < 0.0 or workers < 0:
+        raise ConfigurationError(
+            "allocator_epsilon, coarsen_quantum, and fill_workers must be "
+            f"non-negative, got {epsilon!r}/{quantum!r}/{workers!r}"
+        )
+    if mode != "flow" and (epsilon or quantum or workers):
+        raise ConfigurationError(
+            f"{'/'.join(FLOW_APPROX_KNOBS)} only apply to "
+            f"network_mode='flow'; backend {backend!r} is in {mode} mode"
+        )
+    return {
+        "allocator_epsilon": epsilon,
+        "coarsen_quantum": quantum,
+        "fill_workers": workers,
+    }
+
+
 # Fault kinds each backend/mode combination can apply through its ``faults``
 # knob.  Compute slowdowns work everywhere (the executor applies them); link
 # events need a routed topology; OCS port failures need a circuit control
@@ -229,7 +275,8 @@ def _install_faults(
         "technology",
         "network_mode",
         "faults",
-    ),
+    )
+    + FLOW_APPROX_KNOBS,
 )
 def _photonic_backend(
     cluster: ClusterSpec,
@@ -240,8 +287,15 @@ def _photonic_backend(
     technology: Optional[OCSTechnology] = None,
     network_mode: Optional[str] = None,
     faults: object = None,
+    allocator_epsilon: object = None,
+    coarsen_quantum: object = None,
+    fill_workers: object = None,
 ) -> NetworkModel:
-    if _check_network_mode(network_mode) == "flow":
+    mode = _check_network_mode(network_mode)
+    approx = _flow_approx_knobs(
+        mode, "photonic", allocator_epsilon, coarsen_quantum, fill_workers
+    )
+    if mode == "flow":
         return _install_faults(
             photonic_flow_network(
                 cluster,
@@ -250,6 +304,7 @@ def _photonic_backend(
                 provisioning=bool(provisioning),
                 technology=technology,
                 registry=registry,
+                **approx,
             ),
             faults,
             _CIRCUIT_FLOW_FAULTS,
@@ -282,7 +337,7 @@ def _photonic_backend(
 @backend(
     "electrical",
     "Fully-connected electrical rails (the Fig. 8 baseline)",
-    knobs=("use_tree_collectives", "network_mode", "faults"),
+    knobs=("use_tree_collectives", "network_mode", "faults") + FLOW_APPROX_KNOBS,
 )
 def _electrical_backend(
     cluster: ClusterSpec,
@@ -291,15 +346,22 @@ def _electrical_backend(
     use_tree_collectives: bool = False,
     network_mode: Optional[str] = None,
     faults: object = None,
+    allocator_epsilon: object = None,
+    coarsen_quantum: object = None,
+    fill_workers: object = None,
 ) -> NetworkModel:
-    if _check_network_mode(network_mode) == "flow":
+    mode = _check_network_mode(network_mode)
+    approx = _flow_approx_knobs(
+        mode, "electrical", allocator_epsilon, coarsen_quantum, fill_workers
+    )
+    if mode == "flow":
         if use_tree_collectives:
             raise ConfigurationError(
                 "network_mode='flow' expands ring algorithms only; "
                 "use_tree_collectives is not supported in flow mode"
             )
         return _install_faults(
-            electrical_flow_network(cluster, mesh),
+            electrical_flow_network(cluster, mesh, **approx),
             faults,
             _LINK_FAULTS,
             "electrical",
@@ -335,7 +397,7 @@ def _ideal_backend(
 @backend(
     "fattree",
     "Packet transfers routed through the k-ary fat-tree graph",
-    knobs=("network_mode", "oversubscription", "faults"),
+    knobs=("network_mode", "oversubscription", "faults") + FLOW_APPROX_KNOBS,
 )
 def _fattree_backend(
     cluster: ClusterSpec,
@@ -344,11 +406,18 @@ def _fattree_backend(
     network_mode: Optional[str] = None,
     oversubscription: float = 1.0,
     faults: object = None,
+    allocator_epsilon: object = None,
+    coarsen_quantum: object = None,
+    fill_workers: object = None,
 ) -> NetworkModel:
     oversubscription = float(oversubscription)
-    if _check_network_mode(network_mode) == "flow":
+    mode = _check_network_mode(network_mode)
+    approx = _flow_approx_knobs(
+        mode, "fattree", allocator_epsilon, coarsen_quantum, fill_workers
+    )
+    if mode == "flow":
         model: NetworkModel = fat_tree_flow_network(
-            cluster, mesh, oversubscription=oversubscription
+            cluster, mesh, oversubscription=oversubscription, **approx
         )
         return _install_faults(model, faults, _LINK_FAULTS, "fattree", "flow")
     model = FatTreeNetworkModel(cluster, mesh, oversubscription=oversubscription)
@@ -358,7 +427,7 @@ def _fattree_backend(
 @backend(
     "railopt",
     "Packet transfers routed through the leaf/spine rail-optimized graph",
-    knobs=("always_spine", "network_mode", "faults"),
+    knobs=("always_spine", "network_mode", "faults") + FLOW_APPROX_KNOBS,
 )
 def _railopt_backend(
     cluster: ClusterSpec,
@@ -367,10 +436,17 @@ def _railopt_backend(
     always_spine: bool = True,
     network_mode: Optional[str] = None,
     faults: object = None,
+    allocator_epsilon: object = None,
+    coarsen_quantum: object = None,
+    fill_workers: object = None,
 ) -> NetworkModel:
-    if _check_network_mode(network_mode) == "flow":
+    mode = _check_network_mode(network_mode)
+    approx = _flow_approx_knobs(
+        mode, "railopt", allocator_epsilon, coarsen_quantum, fill_workers
+    )
+    if mode == "flow":
         model: NetworkModel = rail_optimized_flow_network(
-            cluster, mesh, always_spine=bool(always_spine)
+            cluster, mesh, always_spine=bool(always_spine), **approx
         )
         return _install_faults(model, faults, _LINK_FAULTS, "railopt", "flow")
     model = RailOptimizedNetworkModel(cluster, mesh, always_spine=bool(always_spine))
@@ -380,7 +456,8 @@ def _railopt_backend(
 @backend(
     "ocs",
     "Bare OCS rails without Opus: schedule changes block for the switch time",
-    knobs=("reconfiguration_delay", "technology", "network_mode", "faults"),
+    knobs=("reconfiguration_delay", "technology", "network_mode", "faults")
+    + FLOW_APPROX_KNOBS,
 )
 def _ocs_backend(
     cluster: ClusterSpec,
@@ -390,8 +467,15 @@ def _ocs_backend(
     technology: Optional[OCSTechnology] = None,
     network_mode: Optional[str] = None,
     faults: object = None,
+    allocator_epsilon: object = None,
+    coarsen_quantum: object = None,
+    fill_workers: object = None,
 ) -> NetworkModel:
-    if _check_network_mode(network_mode) == "flow":
+    mode = _check_network_mode(network_mode)
+    approx = _flow_approx_knobs(
+        mode, "ocs", allocator_epsilon, coarsen_quantum, fill_workers
+    )
+    if mode == "flow":
         return _install_faults(
             bare_ocs_flow_network(
                 cluster,
@@ -399,6 +483,7 @@ def _ocs_backend(
                 reconfiguration_delay=reconfiguration_delay,
                 technology=technology,
                 registry=registry,
+                **approx,
             ),
             faults,
             _CIRCUIT_FLOW_FAULTS,

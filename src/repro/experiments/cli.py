@@ -256,6 +256,24 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         "(shorthand for --knob network_mode=...; every backend except ideal)",
     )
     parser.add_argument(
+        "--allocator-epsilon",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="flow-mode ε-approximate reallocation: skip component re-rates "
+        "that would move no flow's rate by more than this relative fraction; "
+        "0 is exact (shorthand for --knob allocator_epsilon=...)",
+    )
+    parser.add_argument(
+        "--coarsen-quantum",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="flow-mode event coarsening: batch reallocation triggers landing "
+        "within this time quantum into one solver pass; 0 is exact "
+        "(shorthand for --knob coarsen_quantum=...)",
+    )
+    parser.add_argument(
         "--fault-plan",
         default=None,
         metavar="FAULTS.JSON",
@@ -281,6 +299,20 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
                 f"--knob network_mode={existing}"
             )
         knobs["network_mode"] = args.network_mode
+    for flag, knob in (
+        ("allocator_epsilon", "allocator_epsilon"),
+        ("coarsen_quantum", "coarsen_quantum"),
+    ):
+        value = getattr(args, flag, None)
+        if value is None:
+            continue
+        existing = knobs.get(knob)
+        if existing is not None and float(existing) != value:
+            raise ConfigurationError(
+                f"--{flag.replace('_', '-')} {value} conflicts with "
+                f"--knob {knob}={existing}"
+            )
+        knobs[knob] = value
     if getattr(args, "fault_plan", None) is not None:
         from ..simulator.faults import FaultPlan
 
@@ -366,6 +398,8 @@ def _cmd_scale(args: argparse.Namespace) -> int:
             backend=name,
             network_mode=args.network_mode,
             num_iterations=args.iterations,
+            allocator_epsilon=args.allocator_epsilon or 0.0,
+            coarsen_quantum=args.coarsen_quantum or 0.0,
         )
         for count in endpoints
         for name in backends
@@ -465,6 +499,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scale_parser.add_argument(
         "--network-mode", choices=NETWORK_MODES, default="flow"
+    )
+    scale_parser.add_argument(
+        "--allocator-epsilon",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="flow-mode ε-approximate reallocation (0 = exact); the key to "
+        "10k-endpoint-and-up fat trees",
+    )
+    scale_parser.add_argument(
+        "--coarsen-quantum",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="flow-mode event coarsening quantum (0 = exact)",
     )
     scale_parser.add_argument("--iterations", type=int, default=2)
     scale_parser.add_argument("--workers", type=int, default=None)

@@ -189,6 +189,13 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         "scaleout_bytes": _mean([m.scaleout_bytes for m in steady_metrics]),
         "total_time": trace.iterations[-1].end,
     }
+    flow_stats = getattr(network, "flow_stats", None)
+    if flow_stats is not None:
+        # Flow-mode allocator counters (whole-run totals): how many solver
+        # passes ran, over how many components/flows, and how many were
+        # ε-skipped — the observability hook for the approximation knobs.
+        for key, value in flow_stats.as_dict().items():
+            metrics[key] = float(value)
     return ScenarioResult(
         name=scenario.name,
         backend=scenario.backend,

@@ -36,8 +36,9 @@ The executor supports two kinds of network models:
 
 from __future__ import annotations
 
+import heapq
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import DeadlockError, SimulationError
@@ -90,6 +91,9 @@ class _ScheduleState:
     scaleup_free: Dict[int, float]
     ready: Set[int]
     start_time: float
+    #: Ops added to ``ready`` since the flow loop last drained this list;
+    #: lets its priority queue ingest newcomers without rescanning ``ready``.
+    newly_ready: List[int] = field(default_factory=list)
 
     def finish(self, op_id: int, end: float) -> None:
         """Record ``op_id``'s end and move newly-unblocked successors to ready."""
@@ -98,6 +102,7 @@ class _ScheduleState:
             self.remaining_deps[successor] -= 1
             if self.remaining_deps[successor] == 0:
                 self.ready.add(successor)
+                self.newly_ready.append(successor)
 
 
 class DAGExecutor:
@@ -226,6 +231,32 @@ class DAGExecutor:
         locked: Set[int] = set()
         #: (op_id, end) pairs appended by collective-completion callbacks.
         finished: List[Tuple[int, float]] = []
+        # Lazy priority queue over the ready set.  Earliest-start candidates
+        # only grow over time (dep ends are fixed once known, resource free
+        # times only move forward), so a stored candidate is a lower bound:
+        # pop the minimum, recompute, and re-push if it moved.  A pop whose
+        # value is still accurate is the true (candidate, op_id) minimum —
+        # every other stored entry is a lower bound at or above it.  This
+        # replaces the O(|ready|) rescan per commit without changing which
+        # operation is selected, so traces stay bit-identical.
+        heap: List[Tuple[float, int]] = []
+        queued: Set[int] = set()
+        #: Scale-out ops popped while their NIC was locked; re-queued once
+        #: ``finalize`` releases locks (the only place locks clear).
+        parked: List[Tuple[float, int]] = []
+
+        def refill() -> None:
+            newcomers = state.newly_ready
+            if not newcomers:
+                return
+            for op_id in newcomers:
+                if op_id not in queued:
+                    queued.add(op_id)
+                    candidate = self._earliest_start(self.dag.operation(op_id), state)
+                    heapq.heappush(heap, (candidate, op_id))
+            newcomers.clear()
+
+        state.newly_ready.extend(ready)
         # Circuit-switched flow models gate launches on the controller and
         # buffer the switching events performed per collective; pick them up
         # at completion so they land in the trace like analytic reconfigs do.
@@ -233,6 +264,7 @@ class DAGExecutor:
 
         def finalize() -> None:
             nonlocal completed
+            any_finished = bool(finished)
             while finished:
                 op_id, end = finished.pop(0)
                 operation, begin = inflight.pop(op_id)
@@ -244,23 +276,40 @@ class DAGExecutor:
                 self.network.on_comm_end(operation, end)
                 state.finish(op_id, end)
                 completed += 1
+            if any_finished and parked:
+                # Locks may have cleared; parked ops compete again.
+                for entry in parked:
+                    heapq.heappush(heap, entry)
+                parked.clear()
 
         while ready or inflight:
             finalize()
+            refill()
             best_id = None
             best_start = None
-            for op_id in ready:
+            while heap:
+                candidate, op_id = heapq.heappop(heap)
+                if op_id not in ready:
+                    queued.discard(op_id)
+                    continue  # committed via an earlier pop; stale entry
                 op = self.dag.operation(op_id)
+                current = self._earliest_start(op, state)
+                if current > candidate:
+                    heapq.heappush(heap, (current, op_id))
+                    continue
                 if (
                     op.kind != OpKind.COMPUTE
                     and self.network.is_scaleout(op)
                     and any(rank in locked for rank in op.ranks)
                 ):
-                    continue  # NIC held by an in-flight collective; end unknown
-                candidate = self._earliest_start(op, state)
-                if best_start is None or (candidate, op_id) < (best_start, best_id):
-                    best_start = candidate
-                    best_id = op_id
+                    # NIC held by an in-flight collective; end unknown.  Set
+                    # aside — candidates cannot shrink, so re-queueing the
+                    # same entry after locks clear keeps the bound valid.
+                    parked.append((candidate, op_id))
+                    continue
+                best_start = candidate
+                best_id = op_id
+                break
 
             next_event = network.next_event_time
             if best_id is None:
@@ -282,6 +331,8 @@ class DAGExecutor:
                 # them in a burst — flow starts and intermediate completion
                 # checks change no scheduling input, so rescanning the ready
                 # set is only needed once a collective actually finishes.
+                # The popped candidate goes back on the queue uncommitted.
+                heapq.heappush(heap, (best_start, best_id))
                 while not finished:
                     next_event = network.next_event_time
                     if next_event is None or next_event > best_start:
@@ -291,6 +342,7 @@ class DAGExecutor:
 
             assert best_start is not None
             ready.discard(best_id)
+            queued.discard(best_id)
             operation = self.dag.operation(best_id)
             if operation.kind == OpKind.COMPUTE:
                 end = self._execute_compute(operation, best_start, state.gpu_free, trace)

@@ -53,7 +53,7 @@ from ..topology.ocs import Circuit
 from ..topology.photonic import PhotonicRailFabric, build_photonic_rail_fabric
 from ..topology.railopt import build_rail_optimized_fabric
 from .fabric_network import TopologyNetworkModel
-from .flows import FlowSimulator
+from .flows import AllocatorStats, FlowSimulator
 from .network import CommTiming
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
@@ -179,17 +179,37 @@ class FlowNetworkModel(TopologyNetworkModel):
 
     #: A source with at least this many unresolved destinations in one
     #: collective schedule is routed with a single multi-target BFS instead
-    #: of per-pair shortest-path calls (the AllToAll pattern).
+    #: of per-pair shortest-path calls (the AllToAll pattern).  The BFS only
+    #: pays off when the destination set is a sizable fraction of the fabric:
+    #: settling even one cross-pod target forces the level-synchronous search
+    #: through entire switch tiers (~the whole graph), while a bidirectional
+    #: per-pair search meets in the middle and explores orders of magnitude
+    #: less.  Both resolve identical routes (same min-hop, same min-link-id
+    #: tie-breaks), so the choice is purely a cost model: use the BFS when
+    #: ``len(dsts)`` rivals ``num_nodes / _MULTI_TARGET_NODE_RATIO``.
     _MULTI_TARGET_MIN = 4
+    _MULTI_TARGET_NODE_RATIO = 256
 
     def __init__(
         self,
         cluster: ClusterSpec,
         mesh: DeviceMesh,
         topology: Topology,
+        allocator_epsilon: float = 0.0,
+        coarsen_quantum: float = 0.0,
+        fill_workers: int = 0,
     ) -> None:
         super().__init__(cluster, mesh, topology)
-        self.simulator = FlowSimulator(topology=topology)
+        #: Contention-scaling knobs, handed to every simulator this model
+        #: builds (see :class:`~repro.simulator.flows.FlowSimulator`); the
+        #: defaults keep the exact engine, bit-for-bit.
+        self.allocator_epsilon = float(allocator_epsilon)
+        self.coarsen_quantum = float(coarsen_quantum)
+        self.fill_workers = int(fill_workers)
+        #: Allocation counters, shared across simulator rebuilds so a whole
+        #: training run reports one consistent set of totals.
+        self.flow_stats = AllocatorStats()
+        self.simulator = self._fresh_simulator()
         #: Per-step software launch overhead, matching the analytic alpha term.
         self.per_step_overhead = self._scaleout_link.per_message_overhead
         self._pair_paths: Dict[Tuple[int, int], Tuple[Link, ...]] = {}
@@ -231,7 +251,17 @@ class FlowNetworkModel(TopologyNetworkModel):
                 raise SimulationError(
                     "cannot rewind the flow simulator while flows are in flight"
                 )
-            self.simulator = FlowSimulator(topology=self.topology)
+            self.simulator = self._fresh_simulator()
+
+    def _fresh_simulator(self) -> FlowSimulator:
+        """A simulator carrying this model's knobs and shared counters."""
+        return FlowSimulator(
+            topology=self.topology,
+            allocator_epsilon=self.allocator_epsilon,
+            coarsen_quantum=self.coarsen_quantum,
+            fill_workers=self.fill_workers,
+            stats=self.flow_stats,
+        )
 
     def on_iteration_end(self, iteration: int, time: float) -> None:
         if self.fault_injector is not None:
@@ -334,8 +364,12 @@ class FlowNetworkModel(TopologyNetworkModel):
             for transfer in step.transfers:
                 if (transfer.src, transfer.dst) not in cache:
                     by_src.setdefault(transfer.src, set()).add(transfer.dst)
+        multi_target_min = max(
+            self._MULTI_TARGET_MIN,
+            self.topology.num_nodes // self._MULTI_TARGET_NODE_RATIO,
+        )
         for src, dsts in by_src.items():
-            if len(dsts) < self._MULTI_TARGET_MIN:
+            if len(dsts) < multi_target_min:
                 continue  # per-pair resolution explores less of the graph
             node_to_rank = {
                 gpu_node_name(self.mesh.gpu_of(dst)): dst for dst in dsts
@@ -457,6 +491,9 @@ class PhotonicFlowNetworkModel(FlowNetworkModel):
         reconfiguration_delay: Optional[float] = None,
         shim_options: Optional["ShimOptions"] = None,
         registry: Optional["GroupRegistry"] = None,
+        allocator_epsilon: float = 0.0,
+        coarsen_quantum: float = 0.0,
+        fill_workers: int = 0,
     ) -> None:
         # Imported lazily: repro.core pulls repro.experiments (through
         # core.system) which imports this module back at its own module level.
@@ -469,7 +506,14 @@ class PhotonicFlowNetworkModel(FlowNetworkModel):
                 "the photonic fabric must be built from the same cluster "
                 "specification as the network model"
             )
-        super().__init__(cluster, mesh, fabric.topology)
+        super().__init__(
+            cluster,
+            mesh,
+            fabric.topology,
+            allocator_epsilon=allocator_epsilon,
+            coarsen_quantum=coarsen_quantum,
+            fill_workers=fill_workers,
+        )
         self.fabric = fabric
         self._shim_options = shim_options
         self._registry = registry
@@ -750,28 +794,61 @@ class PhotonicFlowNetworkModel(FlowNetworkModel):
 
 
 def electrical_flow_network(
-    cluster: ClusterSpec, mesh: DeviceMesh
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    allocator_epsilon: float = 0.0,
+    coarsen_quantum: float = 0.0,
+    fill_workers: int = 0,
 ) -> FlowNetworkModel:
     """Flow-level twin of the fully-connected electrical rail baseline."""
     return FlowNetworkModel(
-        cluster, mesh, build_fully_connected_rail_topology(cluster)
+        cluster,
+        mesh,
+        build_fully_connected_rail_topology(cluster),
+        allocator_epsilon=allocator_epsilon,
+        coarsen_quantum=coarsen_quantum,
+        fill_workers=fill_workers,
     )
 
 
 def fat_tree_flow_network(
-    cluster: ClusterSpec, mesh: DeviceMesh, oversubscription: float = 1.0
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    oversubscription: float = 1.0,
+    allocator_epsilon: float = 0.0,
+    coarsen_quantum: float = 0.0,
+    fill_workers: int = 0,
 ) -> FlowNetworkModel:
     """Flow-level twin of the fat-tree fabric (optionally oversubscribed)."""
     fabric = build_fat_tree_fabric(cluster, oversubscription=oversubscription)
-    return FlowNetworkModel(cluster, mesh, fabric.topology)
+    return FlowNetworkModel(
+        cluster,
+        mesh,
+        fabric.topology,
+        allocator_epsilon=allocator_epsilon,
+        coarsen_quantum=coarsen_quantum,
+        fill_workers=fill_workers,
+    )
 
 
 def rail_optimized_flow_network(
-    cluster: ClusterSpec, mesh: DeviceMesh, always_spine: bool = True
+    cluster: ClusterSpec,
+    mesh: DeviceMesh,
+    always_spine: bool = True,
+    allocator_epsilon: float = 0.0,
+    coarsen_quantum: float = 0.0,
+    fill_workers: int = 0,
 ) -> FlowNetworkModel:
     """Flow-level twin of the leaf/spine rail-optimized fabric."""
     fabric = build_rail_optimized_fabric(cluster, always_spine=always_spine)
-    return FlowNetworkModel(cluster, mesh, fabric.topology)
+    return FlowNetworkModel(
+        cluster,
+        mesh,
+        fabric.topology,
+        allocator_epsilon=allocator_epsilon,
+        coarsen_quantum=coarsen_quantum,
+        fill_workers=fill_workers,
+    )
 
 
 def photonic_flow_network(
@@ -781,6 +858,9 @@ def photonic_flow_network(
     provisioning: bool = True,
     technology: Optional["OCSTechnology"] = None,
     registry: Optional["GroupRegistry"] = None,
+    allocator_epsilon: float = 0.0,
+    coarsen_quantum: float = 0.0,
+    fill_workers: int = 0,
 ) -> PhotonicFlowNetworkModel:
     """Flow-level photonic rails under the full Opus control plane."""
     from ..core.shim import ShimOptions
@@ -793,6 +873,9 @@ def photonic_flow_network(
         reconfiguration_delay=reconfiguration_delay,
         shim_options=ShimOptions(provisioning=bool(provisioning)),
         registry=registry,
+        allocator_epsilon=allocator_epsilon,
+        coarsen_quantum=coarsen_quantum,
+        fill_workers=fill_workers,
     )
 
 
@@ -802,6 +885,9 @@ def bare_ocs_flow_network(
     reconfiguration_delay: Optional[float] = None,
     technology: Optional["OCSTechnology"] = None,
     registry: Optional["GroupRegistry"] = None,
+    allocator_epsilon: float = 0.0,
+    coarsen_quantum: float = 0.0,
+    fill_workers: int = 0,
 ) -> PhotonicFlowNetworkModel:
     """Flow-level bare OCS rails: on-demand per-group switching, no Opus.
 
@@ -825,4 +911,7 @@ def bare_ocs_flow_network(
             coalesce_axis=False,
         ),
         registry=registry,
+        allocator_epsilon=allocator_epsilon,
+        coarsen_quantum=coarsen_quantum,
+        fill_workers=fill_workers,
     )

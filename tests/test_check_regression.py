@@ -106,3 +106,47 @@ def test_update_writes_a_baseline_cli_round_trip(gate, tmp_path, capsys):
     slow = tmp_path / "slow.txt"
     slow.write_text("\n".join(_bench_lines(flow_wall=0.050)) + "\n")
     assert gate.main([str(slow), "--baseline", str(baseline)]) == 1
+
+
+def test_tolerance_overrides_match_exact_and_prefix(gate):
+    overrides = {
+        "flow_mode:electrical:8": 2.0,
+        "flow_mode:fattree-approx*": 1.8,
+        "flow_mode:fattree*": 1.5,
+    }
+    assert gate.tolerance_for("flow_mode:electrical:8", 1.3, overrides) == 2.0
+    # Longest matching prefix wins over a broader one.
+    assert gate.tolerance_for("flow_mode:fattree-approx:40", 1.3, overrides) == 1.8
+    assert gate.tolerance_for("flow_mode:fattree:40", 1.3, overrides) == 1.5
+    assert gate.tolerance_for("flow_mode:photonic:8", 1.3, overrides) == 1.3
+
+
+def test_tolerance_override_loosens_one_identity_only(gate):
+    base_ratios, base_steady = _distilled(gate, flow_wall=0.025)
+    baseline = {
+        "ratios": dict(base_ratios),
+        "steady": dict(base_steady),
+        "absolute_slack": 0.0,
+        "tolerance_overrides": {"flow_mode:electrical*": 3.0},
+    }
+    slow_ratios, slow_steady = _distilled(gate, flow_wall=0.050)  # 2x slower
+    # The override absorbs the 2x flow-mode slowdown...
+    failures = gate.check(slow_ratios, base_steady, baseline, tolerance=1.3)
+    assert failures == []
+    # ...but the un-overridden allocator ratio still trips at default 1.3x.
+    regressed, steady = _distilled(gate, flow_wall=0.025, shipped=0.03)
+    failures = gate.check(regressed, base_steady, baseline, tolerance=1.3)
+    assert any("max_min_fair:500" in failure for failure in failures)
+
+
+def test_update_preserves_tolerance_overrides(gate, tmp_path):
+    bench = tmp_path / "bench.txt"
+    bench.write_text("\n".join(_bench_lines(flow_wall=0.025)) + "\n")
+    baseline = tmp_path / "baseline.json"
+    assert gate.main([str(bench), "--baseline", str(baseline), "--update"]) == 0
+    data = json.loads(baseline.read_text())
+    data["tolerance_overrides"] = {"flow_mode:fattree-approx*": 1.8}
+    baseline.write_text(json.dumps(data))
+    assert gate.main([str(bench), "--baseline", str(baseline), "--update"]) == 0
+    refreshed = json.loads(baseline.read_text())
+    assert refreshed["tolerance_overrides"] == {"flow_mode:fattree-approx*": 1.8}

@@ -239,3 +239,148 @@ def test_foreign_same_instant_events_do_not_defer_reallocation():
     sim.run()
     assert flow.done
     assert flow.finish_time == pytest.approx(10.0)
+
+
+# --------------------------------------------------------------------------- #
+# Contention-scaling knobs: quantization, validation, ε-skips, sealed batches
+# --------------------------------------------------------------------------- #
+
+
+def test_negative_knobs_are_rejected():
+    with pytest.raises(SimulationError):
+        FlowSimulator(allocator_epsilon=-0.1)
+    with pytest.raises(SimulationError):
+        FlowSimulator(coarsen_quantum=-1e-6)
+    with pytest.raises(SimulationError):
+        FlowSimulator(fill_workers=-1)
+
+
+def test_quantize_rounds_up_and_passes_zero_through():
+    sim = FlowSimulator(coarsen_quantum=0.5)
+    assert sim._quantize(0.0) == 0.0
+    assert sim._quantize(0.2) == 0.5
+    assert sim._quantize(0.5) == 0.5  # boundary values stay put
+    assert sim._quantize(0.500001) == 1.0
+    exact = FlowSimulator()
+    assert exact._quantize(0.123456) == 0.123456
+
+
+def test_coarsening_merges_staggered_arrivals_into_one_instant():
+    link = make_link(bandwidth=100.0)
+    sim = FlowSimulator(coarsen_quantum=1.0)
+    first = sim.add_flow((link,), 100.0, start_time=0.3)
+    second = sim.add_flow((link,), 100.0, start_time=0.7)
+    sim.run()
+    # Both arrivals round up to t=1.0, start together, and split the link.
+    assert first.start_time == second.start_time == 1.0
+    assert first.finish_time == second.finish_time == pytest.approx(3.0)
+
+
+def test_allocator_stats_count_invocations_and_epsilon_skips():
+    from repro.simulator.flows import AllocatorStats
+
+    stats = AllocatorStats()
+    link = make_link(bandwidth=100.0)
+    sim = FlowSimulator(allocator_epsilon=0.9, stats=stats)
+    # One short flow among ten long ones: the short completion's freed share
+    # is within ε of the survivors' load, so redistribution is skipped.
+    sim.add_flow((link,), 2.0 * 100.0 / 11.0, start_time=0.0)
+    longs = [sim.add_flow((link,), 1000.0, start_time=0.0) for _ in range(10)]
+    sim.run()
+    assert stats.allocator_invocations > 0
+    assert stats.epsilon_skips >= 1
+    as_dict = stats.as_dict()
+    assert as_dict["epsilon_skips"] == stats.epsilon_skips
+    assert as_dict["rerated_flows"] >= as_dict["rerated_components"]
+    # Every long flow still finishes (deferred debt delays, never deadlocks).
+    assert all(flow.finish_time is not None for flow in longs)
+
+
+def test_epsilon_skip_delays_survivors_by_at_most_epsilon():
+    link = make_link(bandwidth=100.0)
+    exact_sim = FlowSimulator()
+    approx_sim = FlowSimulator(allocator_epsilon=0.1)
+    finishes = {}
+    for label, sim in (("exact", exact_sim), ("approx", approx_sim)):
+        sim.add_flow((link,), 2.0 * 100.0 / 11.0, start_time=0.0)
+        longs = [
+            sim.add_flow((link,), 1000.0, start_time=0.0) for _ in range(10)
+        ]
+        sim.run()
+        finishes[label] = max(flow.finish_time for flow in longs)
+    assert finishes["approx"] >= finishes["exact"] * (1 - 1e-9)
+    assert finishes["approx"] <= finishes["exact"] * 1.1 * (1 + 1e-9)
+
+
+def _uniform_batch(sim, link_count=2, flows_per_link=40):
+    """A self-contained batch large enough to take the sealed fast path."""
+    links = [
+        make_link(bandwidth=100.0, link_id=i, src=f"s{i}", dst=f"d{i}")
+        for i in range(link_count)
+    ]
+    flows = []
+    for link in links:
+        flows.extend(
+            sim.add_flow((link,), 1000.0, start_time=0.0)
+            for _ in range(flows_per_link)
+        )
+    return links, flows
+
+
+def test_sealed_batch_completes_in_bulk_and_replays_identically():
+    # Two identical injections of the same batch shape: the second run
+    # replays the memoized allocation (phantom markers) yet must finish at
+    # exactly the same per-flow times as the first.
+    sim = FlowSimulator()
+    _links, first = _uniform_batch(sim)
+    sim.run()
+    first_times = sorted(flow.finish_time for flow in first)
+    assert sim._sealed_outstanding == 0
+    assert not sim._phantoms
+    assert not sim._link_users
+
+    again = FlowSimulator()
+    _links, warmup = _uniform_batch(again)
+    again.run()
+    offset = again.engine.now
+    _links, replayed = _uniform_batch_at(again, offset)
+    again.run()
+    assert sorted(
+        flow.finish_time - offset for flow in replayed
+    ) == pytest.approx(first_times)
+    assert not again._phantoms  # replay retired its markers
+
+
+def _uniform_batch_at(sim, start_time, link_count=2, flows_per_link=40):
+    links = [
+        make_link(bandwidth=100.0, link_id=i, src=f"s{i}", dst=f"d{i}")
+        for i in range(link_count)
+    ]
+    flows = []
+    for link in links:
+        flows.extend(
+            sim.add_flow((link,), 1000.0, start_time=start_time)
+            for _ in range(flows_per_link)
+        )
+    return links, flows
+
+
+def test_disturbed_sealed_batch_falls_back_to_exact_processing():
+    # A straggler joining one of the sealed batch's links mid-flight forces
+    # the seal to fall back: everyone still finishes at the exact times.
+    sim = FlowSimulator()
+    links, batch = _uniform_batch(sim, link_count=1, flows_per_link=40)
+    straggler = sim.add_flow((links[0],), 100.0, start_time=100.0)
+    sim.run()
+    assert straggler.finish_time is not None
+    assert all(flow.finish_time is not None for flow in batch)
+    # 40 flows at 2.5 B/s each for 100 s leaves 750 B; the straggler makes
+    # 41 sharers at 100/41 B/s.
+    reference = FlowSimulator()
+    ref_links, ref_batch = _uniform_batch(reference, 1, 40)
+    ref_straggler = reference.add_flow((ref_links[0],), 100.0, start_time=100.0)
+    reference.run()
+    assert straggler.finish_time == ref_straggler.finish_time
+    assert sorted(f.finish_time for f in batch) == sorted(
+        f.finish_time for f in ref_batch
+    )

@@ -44,6 +44,14 @@ GOLDEN_CASES = {
     "degraded_fattree_flow": lambda: degraded_fabric_scenario(
         "fattree", "degraded", num_iterations=2
     ),
+    # The ε-approximate engine gets its own pinned trace: approximation is
+    # deterministic too, so its divergence from the exact trace is a fixed,
+    # reviewable artifact rather than an unchecked degree of freedom.
+    "shared_uplink_flow_approx": lambda: shared_uplink_incast_scenario(
+        num_iterations=2
+    ).with_knobs(
+        network_mode="flow", allocator_epsilon=0.1, coarsen_quantum=1e-6
+    ),
 }
 
 
@@ -102,3 +110,23 @@ def test_golden_files_cover_every_case():
     assert not missing, (
         f"golden files missing for {missing}; run with --update-golden"
     )
+
+
+def test_explicit_zero_knobs_reproduce_the_exact_golden_trace():
+    """ε = 0 / quantum = 0 is the exact engine, bit-for-bit.
+
+    The contention-scaling knobs must be pure opt-ins: spelling the defaults
+    out loud (as sweeps and CLI runs do) reproduces the committed pre-knob
+    golden trace down to the last float.
+    """
+    scenario = shared_uplink_incast_scenario(num_iterations=2).with_knobs(
+        network_mode="flow",
+        allocator_epsilon=0.0,
+        coarsen_quantum=0.0,
+        fill_workers=0,
+    )
+    produced = json.loads(_canonical(_simulate_training_dict(scenario)))
+    expected = json.loads((GOLDEN_DIR / "shared_uplink_flow.json").read_text())
+    # The scenario name embeds no knob values; everything else must match.
+    assert produced["iterations"] == expected["iterations"]
+    assert produced["backend"] == expected["backend"]

@@ -206,3 +206,92 @@ def test_allocators_agree_on_faulted_and_degraded_link_sets(seed):
     for flow_id, expected in reference.items():
         assert vectorized[flow_id] == pytest.approx(expected, rel=1e-9)
         assert dispatched[flow_id] == pytest.approx(expected, rel=1e-9)
+
+
+# --------------------------------------------------------------------- #
+# ε-approximate allocation: bounded, monotone, and exact at ε = 0
+# --------------------------------------------------------------------- #
+
+_EPSILONS = (0.0, 0.02, 0.05, 0.1, 0.2, 0.4)
+
+
+def _run_flow_with_knobs(transfers, **knobs):
+    sim = FlowSimulator(**knobs)
+    flows = [
+        sim.add_flow(path, size, start_time=0.0) for path, size in transfers
+    ]
+    sim.run()
+    return [flow.finish_time for flow in flows]
+
+
+def _incast_makespan(epsilon):
+    """24 staggered flows through one 100-B/s link; returns the makespan.
+
+    Sizes 1000·(i+1) make completions arrive one at a time, so every
+    completion is a chance for ε-approximation to skip redistributing the
+    freed bandwidth — the construction maximizes divergence pressure.
+    """
+    topology = Topology(name="incast")
+    topology.add_node("a", NodeKind.GPU)
+    topology.add_node("b", NodeKind.GPU)
+    topology.add_bidirectional_link(
+        "a", "b", bandwidth=100.0, latency=0.0, kind=LinkKind.ELECTRICAL
+    )
+    path = tuple(topology.shortest_path("a", "b"))
+    sim = FlowSimulator(allocator_epsilon=epsilon)
+    flows = [
+        sim.add_flow(path, 1000.0 * (i + 1), start_time=0.0) for i in range(24)
+    ]
+    sim.run()
+    return max(flow.finish_time for flow in flows)
+
+
+def test_epsilon_divergence_is_bounded_and_monotone():
+    makespans = [_incast_makespan(epsilon) for epsilon in _EPSILONS]
+    exact = makespans[0]
+    for epsilon, makespan in zip(_EPSILONS, makespans):
+        # An ε-approximate run never under-runs the exact engine (skipped
+        # redistribution only leaves bandwidth idle) and its makespan stays
+        # within the advertised (1 + ε) envelope.
+        assert makespan >= exact * (1 - 1e-9)
+        assert makespan <= exact * (1 + epsilon) * (1 + 1e-9), (epsilon, makespan)
+    for smaller, larger in zip(makespans, makespans[1:]):
+        assert larger >= smaller * (1 - 1e-9)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_epsilon_zero_with_explicit_knobs_is_bit_identical(seed):
+    rng = random.Random(seed)
+    topology, names = _random_topology(rng)
+    transfers = _random_transfers(rng, topology, names)
+    baseline = _run_flow(transfers)
+    explicit = _run_flow_with_knobs(
+        transfers, allocator_epsilon=0.0, coarsen_quantum=0.0, fill_workers=0
+    )
+    assert explicit == baseline  # bitwise, not approx
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_water_filling_is_bit_identical_to_serial(seed):
+    rng = random.Random(seed)
+    topology, names = _random_topology(rng)
+    transfers = _random_transfers(rng, topology, names)
+    serial = _run_flow(transfers)
+    parallel = _run_flow_with_knobs(transfers, fill_workers=2)
+    assert parallel == serial  # bitwise, not approx
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_epsilon_allocation_never_oversubscribes_a_link(seed):
+    rng = random.Random(seed)
+    topology, names = _random_topology(rng)
+    transfers = _random_transfers(rng, topology, names)
+    sim = FlowSimulator(allocator_epsilon=0.25)
+    flows = [
+        sim.add_flow(path, size, start_time=0.0) for path, size in transfers
+    ]
+    sim.engine.run(until=0.0)  # start the flows, allocating rates
+    rates = [flow.rate for flow in flows]
+    load, capacity = _per_link_load(transfers, rates)
+    for key, total in load.items():
+        assert total <= capacity[key] * (1 + 1e-9), (key, total, capacity[key])

@@ -89,3 +89,68 @@ def test_scale_cli_subcommand_end_to_end(capsys):
 
 def test_scale_cli_rejects_unknown_backends():
     assert main(["scale", "--backends", "warpdrive"]) == 2
+
+
+def test_scale_scenario_threads_the_contention_knobs():
+    scenario = scale_scenario(
+        num_endpoints=200,
+        backend="fattree",
+        allocator_epsilon=0.05,
+        coarsen_quantum=1e-6,
+    )
+    assert scenario.knobs["allocator_epsilon"] == 0.05
+    assert scenario.knobs["coarsen_quantum"] == 1e-6
+    # Defaults stay knob-free so exact runs are indistinguishable from
+    # pre-knob scenario dicts (golden traces, sweep caches).
+    exact = scale_scenario(num_endpoints=200, backend="fattree")
+    assert "allocator_epsilon" not in exact.knobs
+    assert "coarsen_quantum" not in exact.knobs
+
+
+def test_scale_cli_passes_the_contention_knobs(capsys):
+    exit_code = main(
+        [
+            "scale",
+            "--endpoints",
+            "200",
+            "--backends",
+            "fattree",
+            "--iterations",
+            "1",
+            "--executor",
+            "serial",
+            "--allocator-epsilon",
+            "0.05",
+            "--coarsen-quantum",
+            "1e-6",
+        ]
+    )
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["knobs"]["allocator_epsilon"] == 0.05
+    assert payload[0]["knobs"]["coarsen_quantum"] == 1e-6
+
+
+@pytest.mark.slow
+def test_scale_10k_fattree_flow_completes_within_the_wall():
+    """The headline scenario: 10k endpoints, fat tree, flow mode, exact.
+
+    Runs only in the non-blocking ``-m slow`` CI job.  The wall bounds
+    runaway regressions — the pre-optimization engine took ~18 minutes on
+    the reference machine, the current exact engine ~3 — while leaving
+    headroom for slower CI runners; the perf gate proper lives in
+    benchmarks/check_regression.py.
+    """
+    import time
+
+    from repro.experiments.runner import run_scenario
+
+    scenario = scale_scenario(
+        num_endpoints=10_000, backend="fattree", num_iterations=2
+    )
+    started = time.perf_counter()
+    result = run_scenario(scenario)
+    elapsed = time.perf_counter() - started
+    assert result.metrics["steady_iteration_time"] > 0
+    assert result.metrics["scaleout_bytes"] > 0
+    assert elapsed < 420.0, f"10k fat-tree flow run took {elapsed:.0f}s"
