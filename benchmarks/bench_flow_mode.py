@@ -6,11 +6,20 @@ the flow-level machinery — per-step flow expansion, max–min fair
 reallocation, and (on photonic rails) time-domain circuit switching — is
 tracked release over release.
 
+A second family, ``fork_sweep``, times a degradation-severity sweep run
+straight-through versus via the runner's shared-prefix fork path
+(``run_many(..., fork=True)``) and asserts the results are bit-for-bit
+identical — so the fork machinery's speedup is perf-gated alongside its
+correctness.
+
 Each measurement is emitted as one ``BENCH {...}`` JSON line::
 
     BENCH {"bench": "flow_mode", "fabric": "photonic", "gpus": 16,
            "network_mode": "flow", "wall_time_s": 0.18,
            "steady_iteration_s": 0.125, "events": 3}
+    BENCH {"bench": "fork_sweep", "backend": "fattree", "gpus": 16,
+           "branches": 6, "straight_s": 0.81, "forked_s": 0.39,
+           "ratio": 0.48, "identical": true}
 
 Run with::
 
@@ -27,7 +36,8 @@ import sys
 import time
 from dataclasses import replace
 
-from repro.experiments.runner import Scenario, run_scenario
+from repro.experiments.contention import degraded_fabric_severity_grid
+from repro.experiments.runner import ExperimentRunner, Scenario, run_scenario
 from repro.parallelism.workloads import small_test_workload
 from repro.simulator.faults import FaultEvent, FaultKind, FaultPlan
 from repro.topology.devices import perlmutter_testbed
@@ -74,6 +84,12 @@ FAULT_PLAN = FaultPlan(
 #: bulk step injection) dominates the wall time.
 DEFAULT_NODE_COUNTS = (2, 8, 32)
 NUM_ITERATIONS = 3
+
+#: ``fork_sweep`` points: ``(num_nodes, num_iterations, fault_time)``.  The
+#: fault time sits deep into the run so the shared prefix (everything before
+#: the severity sweeps diverge) dominates — the regime delta-sweeps exist
+#: for.  The quick CI configuration is the first point only.
+FORK_SWEEP_POINTS = ((4, 12, 1.4), (16, 8, 0.9))
 
 
 def build_scenario(fabric: str, num_nodes: int, network_mode: str) -> Scenario:
@@ -126,6 +142,56 @@ def run_point(fabric: str, num_nodes: int, network_mode: str, repeat: int = 3) -
     return point
 
 
+def _comparable(result) -> tuple:
+    """Result fields that must be identical between straight and forked runs."""
+    return (list(result.iteration_times), dict(result.metrics))
+
+
+def run_fork_sweep(num_nodes: int, num_iterations: int, fault_time: float) -> dict:
+    """Time one severity sweep straight-through vs via shared-prefix forks.
+
+    Both executions run serially in-process (the fork path branches a live
+    object graph, which a process pool could not be handed), so the wall
+    times divide into a machine-normalized ratio — forked over straight,
+    lower is better.  Bit-identity of every member's iteration times and
+    metrics is asserted, not just timed: a fork path that got fast by
+    drifting is a bug, not a win.
+    """
+    grid = degraded_fabric_severity_grid(
+        num_nodes=num_nodes,
+        num_iterations=num_iterations,
+        fault_time=fault_time,
+    )
+    started = time.perf_counter()
+    straight = ExperimentRunner(executor="serial", memoize=False).run_many(grid)
+    straight_s = time.perf_counter() - started
+    started = time.perf_counter()
+    forked = ExperimentRunner(executor="serial", memoize=False).run_many(
+        grid, fork=True
+    )
+    forked_s = time.perf_counter() - started
+    identical = all(
+        _comparable(one) == _comparable(other)
+        for one, other in zip(straight, forked)
+    )
+    if not identical:
+        raise SystemExit(
+            "fork_sweep: forked results diverged from straight runs "
+            f"(nodes={num_nodes}, iterations={num_iterations})"
+        )
+    return {
+        "bench": "fork_sweep",
+        "backend": grid[0].backend,
+        "gpus": num_nodes * 4,
+        "branches": len(grid),
+        "iterations": num_iterations,
+        "straight_s": round(straight_s, 6),
+        "forked_s": round(forked_s, 6),
+        "ratio": round(forked_s / max(straight_s, 1e-12), 6),
+        "identical": identical,
+    }
+
+
 def main(argv) -> int:
     quick = "--quick" in argv
     sizes = [int(arg) for arg in argv if not arg.startswith("--")]
@@ -151,6 +217,17 @@ def main(argv) -> int:
                 f"{points['analytic']['wall_time_s']:>13.4f} "
                 f"{points['flow']['wall_time_s']:>10.4f} {ratio:>6.1f}x"
             )
+
+    fork_points = FORK_SWEEP_POINTS[:1] if quick else FORK_SWEEP_POINTS
+    print(f"\n{'fork sweep':>12} {'gpus':>5} {'straight (s)':>13} {'forked (s)':>10} {'ratio':>7}")
+    for num_nodes, num_iterations, fault_time in fork_points:
+        point = run_fork_sweep(num_nodes, num_iterations, fault_time)
+        print("BENCH " + json.dumps(point, sort_keys=True))
+        print(
+            f"{point['branches']:>10}br {point['gpus']:>5} "
+            f"{point['straight_s']:>13.4f} {point['forked_s']:>10.4f} "
+            f"{point['ratio']:>6.2f}x"
+        )
     return 0
 
 

@@ -10,7 +10,11 @@ division ran on the same machine seconds apart:
   relative to the alpha-beta pricing);
 * ``max_min_fair:<flows>`` — shipped allocator time divided by the inline
   legacy allocator time (how fast the vectorized water-filling is relative
-  to the original algorithm).
+  to the original algorithm);
+* ``fork_sweep:<backend>:<gpus>`` — wall time of a severity sweep run via
+  shared-prefix forking divided by the same sweep run straight-through
+  (how much of the common prefix the fork path actually amortizes; well
+  below 1 when healthy).
 
 Each ratio is compared against ``benchmarks/baseline.json``: the gate fails
 when ``current > baseline * tolerance`` (default tolerance 1.3, i.e. a 30%
@@ -87,6 +91,10 @@ def distill(records: List[dict]) -> Tuple[Dict[str, float], Dict[str, float]]:
             ratios[f"max_min_fair:{record['flows']}"] = (
                 record["shipped_s"] / record["legacy_s"]
             )
+        elif bench == "fork_sweep":
+            ratios[f"fork_sweep:{record['backend']}:{record['gpus']}"] = record[
+                "ratio"
+            ]
         elif bench == "flow_mode":
             identity = (record["fabric"], record["gpus"])
             flow_walls.setdefault(identity, {})[record["network_mode"]] = record[

@@ -128,6 +128,16 @@ class OpusController:
         #: rescanning them per collective dominated the control plane.
         self._ensure_cache: Dict[Tuple[int, int], Tuple[CircuitConfiguration, int, float]] = {}
 
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Configuration-identity memo: re-key on the anchored configuration
+        # objects, whose identity pickle/deepcopy preserve while their id()
+        # changes (see FlowSimulator.__setstate__ for the full rationale).
+        self._ensure_cache = {
+            (rail, id(cached[0])): cached
+            for (rail, _), cached in self._ensure_cache.items()
+        }
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #

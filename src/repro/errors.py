@@ -84,6 +84,16 @@ class LinkFailedError(SimulationError):
         self.link_key = link_key
 
 
+class SnapshotError(SimulationError):
+    """Simulation state could not be captured or restored.
+
+    Raised when a snapshot would contain a non-serializable callback (a
+    lambda or unregistered closure — forking those would silently keep
+    mutating the original simulation), when a checkpoint file has the wrong
+    format or version, or when a restore targets an incompatible object.
+    """
+
+
 class ScenarioError(ReproError):
     """A scenario failed to simulate.
 

@@ -242,6 +242,37 @@ _LINK_FAULTS = _COMPUTE_FAULTS | LINK_FAULT_KINDS
 _CIRCUIT_FLOW_FAULTS = _LINK_FAULTS | {FaultKind.OCS_PORT_FAIL}
 _CIRCUIT_ANALYTIC_FAULTS = _COMPUTE_FAULTS | {FaultKind.OCS_PORT_FAIL}
 
+#: (backend, network_mode) -> fault kinds that combination can apply.
+_FAULT_SUPPORT: Dict[Tuple[str, str], frozenset] = {
+    ("photonic", "flow"): _CIRCUIT_FLOW_FAULTS,
+    ("photonic", "analytic"): _CIRCUIT_ANALYTIC_FAULTS,
+    ("electrical", "flow"): _LINK_FAULTS,
+    ("electrical", "analytic"): _COMPUTE_FAULTS,
+    ("ideal", "analytic"): _COMPUTE_FAULTS,
+    ("fattree", "flow"): _LINK_FAULTS,
+    ("fattree", "analytic"): _LINK_FAULTS,
+    ("railopt", "flow"): _LINK_FAULTS,
+    ("railopt", "analytic"): _LINK_FAULTS,
+    ("ocs", "flow"): _CIRCUIT_FLOW_FAULTS,
+    ("ocs", "analytic"): _CIRCUIT_ANALYTIC_FAULTS,
+}
+
+
+def fault_support(
+    backend_name: str, network_mode: object = None
+) -> Optional[frozenset]:
+    """Fault kinds backend ``backend_name`` supports in ``network_mode``.
+
+    Mirrors the ``supported`` sets the built-in factories pass to their
+    ``faults``-knob validation, so callers extending a *live* model's fault
+    plan (fork-sweeps; see :meth:`repro.experiments.session.SimulationSession.
+    extend_faults`) can reject unsupported event kinds with the same error as
+    an up-front ``faults=`` knob would.  Returns ``None`` for third-party
+    backends the table does not know, leaving validation to the model itself.
+    """
+    mode = "analytic" if network_mode is None else str(network_mode)
+    return _FAULT_SUPPORT.get((str(backend_name), mode))
+
 
 def _install_faults(
     model: NetworkModel,

@@ -21,6 +21,22 @@ Subcommands
           --grid reconfiguration_delay=1e-5,0.007,0.015 \\
           --grid provisioning=false,true --workers 4 --format csv
 
+  ``--fork`` turns on delta-sweeps: grid points that differ only in their
+  fault schedules share one simulation up to the first diverging event,
+  then branch from an in-memory fork instead of re-simulating from t=0.
+  Results are bit-for-bit identical to a straight sweep.
+
+* ``repro-sim snapshot`` — simulate part of one scenario and spill the live
+  session (pending events included) to a versioned checkpoint file::
+
+      repro-sim snapshot --backend fattree --network-mode flow \\
+          --iterations 8 --at 4 --checkpoint ckpt.bin
+
+* ``repro-sim resume`` — load a checkpoint, continue bit-for-bit where it
+  stopped, and emit the finished scenario's metrics::
+
+      repro-sim resume --checkpoint ckpt.bin --format json
+
 * ``repro-sim fig8`` — the paper's Fig. 8 reconfiguration-latency sweep
   (normalized against the electrical baseline) through the experiment runner.
 
@@ -370,13 +386,65 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "pick one way to select the mode"
         )
     runner = ExperimentRunner(max_workers=args.workers, executor=args.executor)
-    results = runner.sweep(scenario, grid)
+    results = runner.sweep(scenario, grid, fork=args.fork)
     _emit(_result_rows(results, args.format), args.format, args.output)
     print(
         f"sweep: {len(results)} points, {runner.cache_misses} simulated, "
-        f"{runner.cache_hits} cache hits, {runner.max_workers} workers",
+        f"{runner.cache_hits} cache hits, {runner.max_workers} workers"
+        + (" (fork)" if args.fork else ""),
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from .session import SimulationSession
+
+    scenario = _scenario_from_args(args)
+    stop_at = scenario.num_iterations if args.at is None else args.at
+    if not 0 <= stop_at <= scenario.num_iterations:
+        raise ConfigurationError(
+            f"--at {stop_at} must be between 0 and --iterations "
+            f"({scenario.num_iterations})"
+        )
+    session = SimulationSession.start(scenario)
+    session.run_to(stop_at)
+    session.save(args.checkpoint)
+    _emit(
+        [
+            {
+                "checkpoint": args.checkpoint,
+                "scenario": scenario.name,
+                "backend": scenario.backend,
+                "completed_iterations": session.completed,
+                "remaining_iterations": scenario.num_iterations - session.completed,
+                "clock": session.clock,
+            }
+        ],
+        args.format,
+        args.output,
+        single=True,
+    )
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .session import SimulationSession
+
+    session = SimulationSession.load(args.checkpoint)
+    scenario = session.scenario
+    if args.iterations is not None:
+        if args.iterations < session.completed:
+            raise ConfigurationError(
+                f"--iterations {args.iterations} is below the checkpoint's "
+                f"{session.completed} already-completed iterations"
+            )
+        scenario = replace(scenario, num_iterations=args.iterations)
+    session.run_to(scenario.num_iterations)
+    result = session.result(scenario=scenario)
+    _emit(_result_rows([result], args.format), args.format, args.output, single=True)
     return 0
 
 
@@ -481,7 +549,56 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--executor", choices=("thread", "process", "serial"), default="process"
     )
+    sweep_parser.add_argument(
+        "--fork",
+        action="store_true",
+        help="delta-sweep: simulate the shared prefix of fault-schedule "
+        "grids once, then branch from in-memory forks (bit-identical "
+        "results, less wall-clock when schedules diverge late)",
+    )
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot",
+        help="simulate part of one scenario and save a resumable checkpoint",
+    )
+    _add_scenario_arguments(snapshot_parser)
+    snapshot_parser.add_argument(
+        "--checkpoint",
+        required=True,
+        metavar="PATH",
+        help="file the live session is spilled to",
+    )
+    snapshot_parser.add_argument(
+        "--at",
+        type=int,
+        default=None,
+        metavar="N",
+        help="iterations to simulate before saving (default: all of "
+        "--iterations, i.e. a finished-run checkpoint)",
+    )
+    snapshot_parser.set_defaults(func=_cmd_snapshot)
+
+    resume_parser = subparsers.add_parser(
+        "resume",
+        help="load a checkpoint, finish the run, and emit its metrics",
+    )
+    resume_parser.add_argument(
+        "--checkpoint",
+        required=True,
+        metavar="PATH",
+        help="file written by `repro-sim snapshot` (or SimulationSession.save)",
+    )
+    resume_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="total iterations to finish at (default: the scenario's own "
+        "count; may exceed it to simulate further)",
+    )
+    resume_parser.add_argument("--format", choices=("json", "csv"), default="json")
+    resume_parser.add_argument("--output", default=None)
+    resume_parser.set_defaults(func=_cmd_resume)
 
     scale_parser = subparsers.add_parser(
         "scale",

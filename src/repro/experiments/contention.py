@@ -401,16 +401,16 @@ def degraded_fabric_cluster(num_nodes: int = 4) -> ClusterSpec:
 
 
 def degraded_fabric_fault_plan(
-    backend: str, condition: str
+    backend: str, condition: str, time: float = 0.0
 ) -> Optional[FaultPlan]:
     """The fault plan realizing ``condition`` on ``backend``.
 
     * ``healthy`` — no plan (a plan with zero events is bit-for-bit
       identical, which the test suite asserts separately);
-    * ``degraded`` — every fabric link degraded by 10% at t=0: the whole
+    * ``degraded`` — every fabric link degraded by 10%: the whole
       electrical tier on the packet fabrics, the host links (the optics the
       paper's degradation regime is about) on the photonic fabric;
-    * ``failed`` — GPU 0's scale-out NIC attachment down at t=0 (both host
+    * ``failed`` — GPU 0's scale-out NIC attachment down (both host
       links).  Its flows detour over the scale-up interconnect through a
       domain-mate's NIC, sharing that GPU's rail with its own ring — a
       strictly heavier perturbation than the uniform 10% degrade.  A failed
@@ -418,6 +418,11 @@ def degraded_fabric_fault_plan(
       single-path routing (the twin uplink takes over at equal capacity),
       which is why the family kills a component whose loss genuinely
       shrinks the bottleneck cut.
+
+    ``time`` is the instant the fault strikes.  The default of 0.0 keeps the
+    family's historical configuration hashes; a mid-run time makes the
+    conditions share a healthy prefix — the shape
+    :func:`degraded_fabric_fork_grid` exploits for fork-sweeps.
     """
     if condition not in DEGRADED_CONDITIONS:
         raise ConfigurationError(
@@ -435,7 +440,7 @@ def degraded_fabric_fault_plan(
         return FaultPlan(
             events=(
                 FaultEvent(
-                    time=0.0,
+                    time=time,
                     kind=FaultKind.LINK_DEGRADE,
                     link_kind=link_kind,
                     fraction=DEGRADED_FRACTION,
@@ -445,7 +450,7 @@ def degraded_fabric_fault_plan(
     return FaultPlan(
         events=(
             FaultEvent(
-                time=0.0,
+                time=time,
                 kind=FaultKind.LINK_FAIL,
                 src="gpu0",
                 dst="gpu0.nic*",
@@ -460,6 +465,7 @@ def degraded_fabric_scenario(
     num_nodes: int = 4,
     network_mode: str = "flow",
     num_iterations: int = 2,
+    fault_time: float = 0.0,
 ) -> Scenario:
     """One degraded-fabric point: concurrent per-rail DP rings under faults.
 
@@ -467,9 +473,10 @@ def degraded_fabric_scenario(
     node, so each rail carries one fabric-wide FSDP ring and all four run
     concurrently — the regime where losing capacity hurts.  The family is
     asserted (as tier-1 tests) to order ``healthy < degraded < failed`` in
-    completion time on all three fabrics.
+    completion time on all three fabrics.  ``fault_time`` moves the fault
+    from run start (the default) to a mid-run instant.
     """
-    plan = degraded_fabric_fault_plan(backend, condition)
+    plan = degraded_fabric_fault_plan(backend, condition, time=fault_time)
     knobs: dict = {"network_mode": network_mode}
     if plan is not None:
         knobs["faults"] = plan
@@ -502,6 +509,87 @@ def degraded_fabric_grid(
         for backend in backends
         for condition in conditions
     ]
+
+
+def degraded_fabric_fork_grid(
+    backend: str = "fattree",
+    fault_time: float = 1.0,
+    conditions: Sequence[str] = DEGRADED_CONDITIONS,
+    num_nodes: int = 4,
+    network_mode: str = "flow",
+    num_iterations: int = 2,
+) -> List[Scenario]:
+    """One backend's conditions with the faults striking at ``fault_time``.
+
+    These points agree on everything except their fault schedules, and the
+    schedules agree (vacuously — the common prefix is empty) until
+    ``fault_time``: exactly the shape ``ExperimentRunner.run_many(...,
+    fork=True)`` simulates once up to the divergence and branches.  The
+    fork-sweep benchmark measures this grid forked vs straight-through.
+    """
+    return [
+        degraded_fabric_scenario(
+            backend=backend,
+            condition=condition,
+            num_nodes=num_nodes,
+            network_mode=network_mode,
+            num_iterations=num_iterations,
+            fault_time=fault_time,
+        )
+        for condition in conditions
+    ]
+
+
+#: Severity sweep of :func:`degraded_fabric_severity_grid`: a healthy
+#: baseline plus five uniform degradation levels, mild to severe.
+DEGRADED_SEVERITIES = (None, 0.95, 0.9, 0.85, 0.8, 0.75)
+
+
+def degraded_fabric_severity_grid(
+    backend: str = "fattree",
+    fractions: Sequence[Optional[float]] = DEGRADED_SEVERITIES,
+    fault_time: float = 1.0,
+    num_nodes: int = 4,
+    network_mode: str = "flow",
+    num_iterations: int = 2,
+) -> List[Scenario]:
+    """Sweep degradation severity on one backend, diverging at ``fault_time``.
+
+    Every point shares the scenario up to ``fault_time``, when its fabric
+    links degrade to a different remaining-capacity ``fraction`` (``None``
+    is the healthy baseline — no fault at all).  A wider grid than
+    :func:`degraded_fabric_fork_grid`'s three conditions, so the shared
+    prefix is amortized over more branches; this is the fork-sweep
+    benchmark's grid.
+    """
+    link_kind = "host" if backend == "photonic" else "electrical"
+    scenarios = []
+    for fraction in fractions:
+        knobs: dict = {"network_mode": network_mode}
+        label = "healthy"
+        if fraction is not None:
+            knobs["faults"] = FaultPlan(
+                events=(
+                    FaultEvent(
+                        time=fault_time,
+                        kind=FaultKind.LINK_DEGRADE,
+                        link_kind=link_kind,
+                        fraction=fraction,
+                    ),
+                )
+            )
+            label = f"x{fraction:g}"
+        scenarios.append(
+            Scenario(
+                workload=small_test_workload(pp=1, dp=num_nodes, tp=4),
+                cluster=degraded_fabric_cluster(num_nodes),
+                backend=backend,
+                knobs=knobs,
+                num_iterations=num_iterations,
+                name=f"degraded-{backend}-{label}",
+            )
+        )
+    return scenarios
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,13 @@ condenses the trace into a small :class:`ScenarioResult`.
 * **parallelism** — :meth:`ExperimentRunner.sweep` expands a parameter grid
   into scenarios and fans cache misses out over ``concurrent.futures``
   workers (processes by default — the pure-Python simulation is CPU-bound,
-  so threads would serialize on the GIL; threads or serial on request).
+  so threads would serialize on the GIL; threads or serial on request);
+* **delta-sweeps** — with ``fork=True``, grid points that differ only in
+  their fault schedules (and iteration counts) share one
+  :class:`~repro.experiments.session.SimulationSession` up to the instant
+  their schedules diverge, then branch via :meth:`SimulationSession.fork`
+  instead of re-simulating the common prefix per point.  Results are
+  bit-for-bit identical to independent runs.
 """
 
 from __future__ import annotations
@@ -23,7 +29,6 @@ import hashlib
 import itertools
 import json
 import os
-import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field, fields, replace
@@ -31,13 +36,10 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, ScenarioError
 from ..parallelism.config import WorkloadConfig
-from ..parallelism.dag import DagBuildOptions, build_iteration_dag
-from ..parallelism.groups import GroupRegistry
-from ..parallelism.trace import TrainingTrace
-from ..simulator.executor import DAGExecutor, SimulationConfig
-from ..simulator.metrics import iteration_metrics
+from ..parallelism.dag import DagBuildOptions
+from ..simulator.executor import SimulationConfig
+from ..simulator.faults import FaultPlan, as_fault_plan
 from ..topology.devices import ClusterSpec
-from .backends import create_network
 
 
 @dataclass(frozen=True)
@@ -149,71 +151,20 @@ def _steady(values: Sequence[float]) -> Sequence[float]:
 
 
 def run_scenario(scenario: Scenario) -> ScenarioResult:
-    """Simulate one scenario end to end and summarize its trace."""
+    """Simulate one scenario end to end and summarize its trace.
+
+    Sugar for driving a :class:`~repro.experiments.session.SimulationSession`
+    from start to finish; use the session directly for incremental runs,
+    checkpoints, and forks.
+    """
+    # Imported lazily: the session module builds on Scenario/ScenarioResult
+    # from this module.
+    from .session import SimulationSession
+
     started = time.perf_counter()
-    dag = build_iteration_dag(scenario.workload, scenario.cluster, scenario.dag_options)
-    registry = GroupRegistry(dag.mesh)
-    network = create_network(
-        scenario.backend,
-        scenario.cluster,
-        dag.mesh,
-        registry=registry,
-        **dict(scenario.knobs),
-    )
-    executor = DAGExecutor(
-        dag, scenario.cluster, network, config=scenario.simulation
-    )
-    trace: TrainingTrace = executor.run_training(scenario.num_iterations)
-
-    per_iteration = [iteration_metrics(t) for t in trace.iterations]
-    iteration_times = tuple(m.iteration_time for m in per_iteration)
-    reconfigurations = tuple(m.num_reconfigurations for m in per_iteration)
-    blocking = tuple(m.exposed_reconfig_time for m in per_iteration)
-    steady_metrics = _steady(per_iteration)
-
-    def _mean(values: Sequence[float]) -> float:
-        return sum(values) / len(values)
-
-    metrics: Dict[str, float] = {
-        "mean_iteration_time": _mean(iteration_times),
-        "steady_iteration_time": _mean([m.iteration_time for m in steady_metrics]),
-        "reconfigurations_per_iteration": _mean(
-            [m.num_reconfigurations for m in steady_metrics]
-        ),
-        "exposed_reconfig_time": _mean(
-            [m.exposed_reconfig_time for m in steady_metrics]
-        ),
-        "compute_time": _mean([m.compute_time for m in steady_metrics]),
-        "scaleout_comm_time": _mean([m.scaleout_comm_time for m in steady_metrics]),
-        "scaleup_comm_time": _mean([m.scaleup_comm_time for m in steady_metrics]),
-        "scaleout_bytes": _mean([m.scaleout_bytes for m in steady_metrics]),
-        "total_time": trace.iterations[-1].end,
-    }
-    flow_stats = getattr(network, "flow_stats", None)
-    if flow_stats is not None:
-        # Flow-mode allocator counters (whole-run totals): how many solver
-        # passes ran, over how many components/flows, and how many were
-        # ε-skipped — the observability hook for the approximation knobs.
-        for key, value in flow_stats.as_dict().items():
-            metrics[key] = float(value)
-    return ScenarioResult(
-        name=scenario.name,
-        backend=scenario.backend,
-        config_hash=scenario_hash(scenario),
-        num_iterations=scenario.num_iterations,
-        knobs={
-            key: value
-            if isinstance(value, (int, float, bool, str, type(None)))
-            else repr(value)
-            for key, value in scenario.knobs.items()
-        },
-        iteration_times=iteration_times,
-        reconfigurations=reconfigurations,
-        reconfig_blocking=blocking,
-        metrics=metrics,
-        worker=f"{os.getpid()}:{threading.current_thread().name}",
-        wall_time=time.perf_counter() - started,
-    )
+    session = SimulationSession.start(scenario)
+    session.run_to(scenario.num_iterations)
+    return session.result(wall_time=time.perf_counter() - started)
 
 
 def _execute_scenario(scenario: Scenario) -> ScenarioResult:
@@ -234,6 +185,58 @@ def _execute_scenario(scenario: Scenario) -> ScenarioResult:
 _SCENARIO_FIELDS = frozenset(
     f.name for f in fields(Scenario) if f.name not in ("knobs", "workload", "cluster")
 )
+
+
+# --------------------------------------------------------------------------- #
+# Fork-sweep helpers
+# --------------------------------------------------------------------------- #
+
+
+def _scenario_fault_plan(scenario: Scenario) -> FaultPlan:
+    """The scenario's ``faults`` knob as a plan (empty when absent)."""
+    value = scenario.knobs.get("faults")
+    return FaultPlan() if value is None else as_fault_plan(value)
+
+
+def _fork_group_key(scenario: Scenario, plan: FaultPlan) -> Tuple[str, str]:
+    """Cache key grouping scenarios that may share a simulation prefix.
+
+    Two scenarios can branch off one shared session exactly when they agree
+    on everything except their fault schedule and how long they run — so the
+    key is the configuration hash with the ``faults`` knob stripped and the
+    iteration count normalized, plus the plan's link-failure policy (the
+    policy flips flow-failure semantics the moment the *first* event is
+    installed, so mixed-policy points never share a session).
+    """
+    knobs = {key: value for key, value in scenario.knobs.items() if key != "faults"}
+    base = replace(scenario, knobs=knobs, num_iterations=1)
+    return (scenario_hash(base), plan.on_link_fail)
+
+
+def _shared_prefix(
+    plans: Sequence[FaultPlan],
+) -> Tuple[Tuple["FaultEvent", ...], float]:
+    """The common time-sorted event prefix of ``plans`` and the divergence time.
+
+    Returns ``(prefix, divergence)``: the longest leading run of identical
+    events shared by every plan's time-sorted schedule, and the earliest
+    time any plan's first post-prefix event fires (``inf`` when the plans
+    are identical — the points then differ only in iteration count).  A
+    shared session carrying exactly ``prefix`` is bit-for-bit equal to each
+    member's own run up to ``divergence``.
+    """
+    ordered = [sorted(plan.events, key=lambda event: event.time) for plan in plans]
+    prefix: List[object] = []
+    for events in zip(*ordered):
+        first = events[0]
+        if any(event != first for event in events[1:]):
+            break
+        prefix.append(first)
+    divergence = float("inf")
+    for events in ordered:
+        if len(events) > len(prefix):
+            divergence = min(divergence, events[len(prefix)].time)
+    return tuple(prefix), divergence
 
 
 def expand_grid(
@@ -307,13 +310,23 @@ class ExperimentRunner:
         """Run (or recall) a single scenario."""
         return self.run_many([scenario])[0]
 
-    def run_many(self, scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
+    def run_many(
+        self, scenarios: Sequence[Scenario], fork: bool = False
+    ) -> List[ScenarioResult]:
         """Run a batch of scenarios, preserving input order.
 
         With memoization on, cache hits — including duplicate configurations
         *within* the batch — are served without simulating and only the
         unique remainder is fanned out over the configured workers.  With
         ``memoize=False`` every scenario is simulated, duplicates included.
+
+        With ``fork=True`` the remainder is first grouped by shared scenario
+        prefix (see :func:`_fork_group_key`): each group simulates one
+        session up to the point its members' fault schedules diverge, then
+        branches a fork per member — producing results identical to
+        independent runs while simulating the shared prefix once.  Results
+        enter the memoization cache under each member's own configuration
+        hash, exactly as straight-through results do.
         """
         keys = [scenario_hash(scenario) for scenario in scenarios]
         results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
@@ -334,7 +347,8 @@ class ExperimentRunner:
 
         if to_run:
             self.cache_misses += len(to_run)
-            fresh = self._execute([scenarios[index] for index in to_run])
+            pending = [scenarios[index] for index in to_run]
+            fresh = self._execute_forked(pending) if fork else self._execute(pending)
             for index, result in zip(to_run, fresh):
                 results[index] = result
                 if self.memoize:
@@ -347,10 +361,13 @@ class ExperimentRunner:
         return results  # type: ignore[return-value]
 
     def sweep(
-        self, base: Scenario, grid: Mapping[str, Sequence[object]]
+        self,
+        base: Scenario,
+        grid: Mapping[str, Sequence[object]],
+        fork: bool = False,
     ) -> List[ScenarioResult]:
         """Expand ``grid`` over ``base`` and run every point (see :func:`expand_grid`)."""
-        return self.run_many(expand_grid(base, grid))
+        return self.run_many(expand_grid(base, grid), fork=fork)
 
     def clear_cache(self) -> None:
         """Drop all memoized results and reset the hit/miss counters."""
@@ -378,3 +395,146 @@ class ExperimentRunner:
             pool = ThreadPoolExecutor(max_workers=workers)
         with pool:
             return list(pool.map(_execute_scenario, scenarios))
+
+    def _execute_forked(self, scenarios: List[Scenario]) -> List[ScenarioResult]:
+        """Execute a batch with shared-prefix forking where it helps.
+
+        Scenarios are grouped by :func:`_fork_group_key`; groups of at least
+        two points whose schedules diverge after t=0 run through one shared
+        session (:meth:`_run_fork_group`), everything else falls back to the
+        straight-through pool.  Order is preserved.
+        """
+        plans = [_scenario_fault_plan(scenario) for scenario in scenarios]
+        groups: Dict[Tuple[str, str], List[int]] = {}
+        for index, (scenario, plan) in enumerate(zip(scenarios, plans)):
+            groups.setdefault(_fork_group_key(scenario, plan), []).append(index)
+        results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
+        straight: List[int] = []
+        for indices in groups.values():
+            if len(indices) < 2:
+                straight.extend(indices)
+                continue
+            prefix, divergence = _shared_prefix([plans[i] for i in indices])
+            if divergence <= 0.0:
+                # The schedules part ways at t=0: there is no shared prefix
+                # to amortize, so forking would only add copy overhead.
+                straight.extend(indices)
+                continue
+            branch_results = self._run_fork_group(
+                [scenarios[i] for i in indices],
+                [plans[i] for i in indices],
+                prefix,
+                divergence,
+            )
+            for index, result in zip(indices, branch_results):
+                results[index] = result
+        if straight:
+            straight.sort()
+            for index, result in zip(
+                straight, self._execute([scenarios[i] for i in straight])
+            ):
+                results[index] = result
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def _run_fork_group(
+        self,
+        scenarios: List[Scenario],
+        plans: List[FaultPlan],
+        prefix: Tuple,
+        divergence: float,
+    ) -> List[ScenarioResult]:
+        """Simulate one fork group: shared prefix once, then one fork per point.
+
+        The shared session carries only the common event prefix and runs
+        whole iterations while they finish strictly before ``divergence``
+        (each iteration is attempted from a pre-iteration fork and rolled
+        back if it crosses — conservatively, so a branch-specific event can
+        never land inside a shared iteration).  Each member then forks the
+        shared state, installs its schedule tail, runs to its own iteration
+        count, and condenses a result under its own name and hash.  Branches
+        run serially in-process: they start from a live object graph, which
+        is exactly what a process pool could not be handed cheaply.
+        """
+        from .session import SimulationSession
+
+        current = scenarios[0]
+        try:
+            shared_knobs = {
+                key: value
+                for key, value in current.knobs.items()
+                if key != "faults"
+            }
+            if prefix:
+                shared_knobs["faults"] = FaultPlan(
+                    events=prefix, on_link_fail=plans[0].on_link_fail
+                )
+            shared = SimulationSession.start(
+                replace(
+                    current,
+                    knobs=shared_knobs,
+                    name=f"{current.name}[shared-prefix]",
+                )
+            )
+            target = min(scenario.num_iterations for scenario in scenarios)
+            last_duration: Optional[float] = None
+            while shared.completed < target:
+                if divergence == float("inf"):
+                    # Identical schedules: the members differ only in how
+                    # long they run, so every shared iteration is final.
+                    shared.run_next_iteration()
+                    continue
+                # Forking before every iteration would rival the cost of
+                # the iteration itself on small fabrics, so a backup is
+                # only taken once the projected end (twice the previous
+                # iteration's simulated duration) reaches the divergence
+                # time.  Iteration durations are nearly constant; should
+                # one still spike past an unbacked-up divergence, the
+                # polluted shared state is discarded and the whole group
+                # re-runs straight-through — slower, never wrong.
+                near = (
+                    last_duration is None
+                    or shared.clock + 2.0 * last_duration >= divergence
+                )
+                backup = shared.fork() if near else None
+                before = shared.clock
+                trace = shared.run_next_iteration()
+                last_duration = trace.end - before
+                if trace.end >= divergence:
+                    if backup is None:
+                        return self._execute(scenarios)
+                    shared = backup
+                    break
+            results: List[ScenarioResult] = []
+            for position, (scenario, plan) in enumerate(zip(scenarios, plans)):
+                current = scenario
+                started = time.perf_counter()
+                # The last member adopts the shared session itself; everyone
+                # else continues on a fork of it.
+                branch = (
+                    shared if position == len(scenarios) - 1 else shared.fork()
+                )
+                ordered = sorted(plan.events, key=lambda event: event.time)
+                branch.extend_faults(
+                    FaultPlan(
+                        events=tuple(ordered[len(prefix):]),
+                        on_link_fail=plan.on_link_fail,
+                    ),
+                    scenario=scenario,
+                )
+                branch.run_to(scenario.num_iterations)
+                results.append(
+                    branch.result(
+                        scenario=scenario,
+                        wall_time=time.perf_counter() - started,
+                    )
+                )
+            return results
+        except ScenarioError:
+            raise
+        except Exception as exc:
+            raise ScenarioError(
+                f"scenario {current.name!r} (backend {current.backend!r}, "
+                f"knobs {dict(current.knobs)!r}) failed during a fork-sweep: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc

@@ -9,11 +9,11 @@ arbitrary events), and only the fluid flow simulator drives this queue.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from ..errors import SimulationError
+from .snapshot import SimState, Snapshottable, decode_callback, encode_callback
 
 
 @dataclass(order=True)
@@ -44,18 +44,70 @@ class Event:
                 self._on_cancel()
 
 
-class SimulationEngine:
-    """A time-ordered event queue with a monotonically advancing clock."""
+class SimulationEngine(Snapshottable):
+    """A time-ordered event queue with a monotonically advancing clock.
+
+    The engine is snapshottable: its state (heap, clock, sequence counter,
+    processed/cancelled counters) captures into a :class:`SimState` and
+    restores bit-for-bit.  Pending event callbacks must be bound methods of
+    objects inside the captured graph or module-level functions registered
+    via :func:`~repro.simulator.snapshot.register_continuation`; raw
+    closures are rejected at snapshot/fork time (see ``snapshot.py``).
+    """
 
     def __init__(self) -> None:
         self._queue: List[_QueueEntry] = []
-        self._sequence = itertools.count()
+        self._sequence = 0
         self._now = 0.0
         self._processed = 0
         self._cancelled = 0
 
     def _note_cancel(self) -> None:
         self._cancelled += 1
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> dict:
+        # Events are flattened to plain tuples with callbacks run through the
+        # continuation encoder; _on_cancel (always this engine's bound
+        # _note_cancel) is dropped and rewired on restore.
+        entries = [
+            (
+                entry.time,
+                entry.sequence,
+                encode_callback(entry.event.callback),
+                entry.event.payload,
+                entry.event.cancelled,
+            )
+            for entry in self._queue
+        ]
+        return {
+            "entries": entries,
+            "sequence": self._sequence,
+            "now": self._now,
+            "processed": self._processed,
+            "cancelled": self._cancelled,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._queue = []
+        for time, sequence, callback, payload, cancelled in state["entries"]:
+            event = Event(
+                time=time,
+                callback=decode_callback(callback),
+                payload=payload,
+                cancelled=cancelled,
+                _on_cancel=None if cancelled else self._note_cancel,
+            )
+            # The entries were serialized in heap order, so appending
+            # preserves the heap invariant without a heapify pass.
+            self._queue.append(_QueueEntry(time, sequence, event))
+        self._sequence = state["sequence"]
+        self._now = state["now"]
+        self._processed = state["processed"]
+        self._cancelled = state["cancelled"]
 
     @property
     def now(self) -> float:
@@ -104,7 +156,9 @@ class SimulationEngine:
         event = Event(
             time=time, callback=callback, payload=payload, _on_cancel=self._note_cancel
         )
-        heapq.heappush(self._queue, _QueueEntry(time, next(self._sequence), event))
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heapq.heappush(self._queue, _QueueEntry(time, sequence, event))
         return event
 
     def schedule_in(
@@ -146,9 +200,6 @@ class SimulationEngine:
             if next_time is None:
                 break
             if until is not None and next_time > until:
-                # The clock is monotonic: an `until` in the past must not
-                # rewind time that was already simulated.
-                self._now = max(self._now, until)
                 break
             if not self.step():
                 break
@@ -157,4 +208,10 @@ class SimulationEngine:
                 raise SimulationError(
                     f"event budget of {max_events} exceeded; likely a runaway loop"
                 )
+        if until is not None and until > self._now:
+            # The clock advances to `until` whether the loop stopped at a
+            # later event, drained the queue, or never entered (empty queue):
+            # an idle or restored engine reports the time it was run to, not
+            # a stale instant.  An `until` in the past never rewinds time.
+            self._now = until
         return self._now

@@ -399,10 +399,59 @@ class FaultInjector:
             if self._applied[index]:
                 continue
             engine.schedule(
-                max(event.time, engine.now),
-                lambda eng, payload: self._apply(payload, eng.now),
-                index,
+                max(event.time, engine.now), self._on_engine_event, index
             )
+
+    def _on_engine_event(self, engine, index: int) -> None:
+        # Engine callback: a bound method (not a closure) so a snapshot taken
+        # while fault events are pending serializes — and a fork's events
+        # apply to the fork's injector, not the parent's.
+        self._apply(index, engine.now)
+
+    def extend(self, events: Iterable[FaultEvent], engine=None) -> None:
+        """Append later fault events to a live injector.
+
+        This is how a forked simulation diverges from the shared prefix it
+        was copied from: the branch keeps the prefix's already-applied (and
+        pending) events and gains its own tail.  New events must not precede
+        the existing plan's events — the injector's event list stays
+        time-sorted, so the applied-event cursor semantics are unchanged.
+        In engine-driven mode (``schedule_on`` was called) the owning engine
+        must be passed so the new events get scheduled.
+        """
+        new = sorted(events, key=lambda event: event.time)
+        if not new:
+            return
+        if self._events and new[0].time < self._events[-1].time:
+            raise FaultError(
+                f"extended fault events must not precede the installed "
+                f"plan's events (new event at t={new[0].time:g}s, installed "
+                f"plan ends at t={self._events[-1].time:g}s)"
+            )
+        base = len(self._events)
+        self._events.extend(new)
+        self._applied.extend([False] * len(new))
+        self._compute_events = [
+            event
+            for event in self._events
+            if event.kind == FaultKind.COMPUTE_SLOWDOWN
+        ]
+        self.plan = FaultPlan(
+            events=tuple(self.plan.events) + tuple(new),
+            on_link_fail=self.plan.on_link_fail,
+        )
+        if not self.inline:
+            if engine is None:
+                raise FaultError(
+                    "an engine-driven injector needs the engine to schedule "
+                    "extended events on"
+                )
+            for offset, event in enumerate(new):
+                engine.schedule(
+                    max(event.time, engine.now),
+                    self._on_engine_event,
+                    base + offset,
+                )
 
     def pop_records(self) -> List[FaultRecord]:
         """Records of events applied since the last pop (for the trace)."""

@@ -84,6 +84,33 @@ EXPANDABLE_COLLECTIVES = frozenset(
 )
 
 
+class _RouteResolver:
+    """Deferred route lookup for one (src, dst) rank pair.
+
+    A picklable callable class rather than a lambda: resolvers live inside
+    the model's cached step items *across* iterations, so a snapshot must
+    serialize them and a fork must rebind them (through the deepcopy/pickle
+    memo) to the fork's own model — a closure would silently keep resolving
+    against the parent simulation's topology.
+    """
+
+    __slots__ = ("model", "src", "dst")
+
+    def __init__(self, model: "FlowNetworkModel", src: int, dst: int) -> None:
+        self.model = model
+        self.src = src
+        self.dst = dst
+
+    def __call__(self) -> Tuple[Link, ...]:
+        return self.model.path_between(self.src, self.dst)
+
+    def __getstate__(self):
+        return (self.model, self.src, self.dst)
+
+    def __setstate__(self, state):
+        self.model, self.src, self.dst = state
+
+
 class _DeferredLaunch:
     """A collective launch waiting for conflicting circuits to drain."""
 
@@ -226,6 +253,15 @@ class FlowNetworkModel(TopologyNetworkModel):
         #: keyed by schedule identity; rebuilt when the route table drops.
         self._step_items: Dict[int, Tuple[Schedule, List[List[Tuple[object, float]]]]] = {}
 
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Schedule-identity cache: re-key on the anchored schedule objects,
+        # whose identity pickle/deepcopy preserve while their id() changes
+        # (see FlowSimulator.__setstate__ for the full rationale).
+        self._step_items = {
+            id(cached[0]): cached for cached in self._step_items.values()
+        }
+
     # ------------------------------------------------------------------ #
     # Flow-mode interface
     # ------------------------------------------------------------------ #
@@ -291,6 +327,39 @@ class FlowNetworkModel(TopologyNetworkModel):
         injector.schedule_on(simulator.engine)
         self.fault_injector = injector
 
+    def extend_fault_plan(self, plan) -> None:
+        """Install additional fault events on a live (possibly mid-run) model.
+
+        Fork-sweep branches call this right after copying the shared prefix:
+        the branch keeps the prefix's injector state and gains its own tail
+        of events.  With no plan installed yet this is a mid-run
+        ``install_fault_plan``.  When link events flip the model from eager
+        to deferred route resolution, the step-item lists are dropped: they
+        embed concrete pre-fault routes that nothing would ever invalidate
+        once ``_prefetch_routes`` stops running.  The per-pair route table
+        survives the switch — it is keyed on the topology version (faults
+        bump it when they *fire*), and the eager and deferred resolvers
+        return identical paths — so the allocator's identity-anchored rate
+        memos keep hitting exactly as a straight deferred run's would.
+        """
+        if plan.is_empty:
+            return
+        was_deferred = self.deferred_routes or self._fault_deferred
+        if self.fault_injector is None:
+            self.install_fault_plan(plan)
+        else:
+            if self.fault_injector.plan.on_link_fail != plan.on_link_fail:
+                raise SimulationError(
+                    "extended fault events carry a different on_link_fail "
+                    f"policy ({plan.on_link_fail!r}) than the installed plan "
+                    f"({self.fault_injector.plan.on_link_fail!r})"
+                )
+            self.fault_injector.extend(plan.events, engine=self.simulator.engine)
+            if plan.has_link_events:
+                self._fault_deferred = True
+        if not was_deferred and (self.deferred_routes or self._fault_deferred):
+            self._step_items.clear()
+
     def can_expand(self, operation: Operation) -> bool:
         """Whether ``operation`` is expanded into flows (vs priced analytically)."""
         if operation.collective is None:
@@ -341,7 +410,7 @@ class FlowNetworkModel(TopologyNetworkModel):
         start instant, when the circuits actually exist.
         """
         if self.deferred_routes or self._fault_deferred:
-            return lambda: self.path_between(transfer.src, transfer.dst)
+            return _RouteResolver(self, transfer.src, transfer.dst)
         return self.path_between(transfer.src, transfer.dst)
 
     def _prefetch_routes(self, steps: Schedule) -> None:

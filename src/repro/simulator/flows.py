@@ -71,6 +71,7 @@ from typing import (
 from ..errors import LinkFailedError, SimulationError, TopologyError
 from ..topology.base import Link, Topology
 from .engine import SimulationEngine
+from .snapshot import Snapshottable, register_continuation
 
 try:  # numpy is a declared dependency, but the pure-Python path keeps the
     import numpy as _np  # engine usable in stripped-down environments.
@@ -744,7 +745,13 @@ def _max_min_fair_rates_parallel(
     return rates
 
 
-class FlowSimulator:
+@register_continuation("flows.empty_batch_complete")
+def _complete_empty_batch(engine: SimulationEngine, on_complete) -> None:
+    """Completion event for a degenerate zero-flow batch (see add_flows)."""
+    on_complete(engine.now)
+
+
+class FlowSimulator(Snapshottable):
     """Event-driven fluid simulator over a set of flows.
 
     Usage::
@@ -800,7 +807,9 @@ class FlowSimulator:
         #: charging capacity that no longer exists.
         self.topology = topology
         self._active: Set[Flow] = set()
-        self._counter = itertools.count()
+        #: Next flow id.  A plain int (not itertools.count) so snapshots can
+        #: capture and restore it explicitly.
+        self._counter = 0
         #: Flows pending start, batched per exact arrival instant; one
         #: engine event per distinct instant reallocates once for the batch.
         self._pending_at: Dict[float, List[Flow]] = {}
@@ -868,6 +877,28 @@ class FlowSimulator:
         #: the flows riding them without scanning the user registry.
         self._link_id_keys: Dict[int, LinkKey] = {}
 
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Identity-keyed memo caches: pickle and deepcopy preserve object
+        # identity *within* one captured graph but not the id() values used
+        # as dict keys, so every memo is re-keyed on the anchor object its
+        # value pins.  Without this the memos would merely go cold after a
+        # restore or fork — still correct, but the cold rebuilds would be
+        # counted as extra allocator work, breaking the guarantee that a
+        # continued snapshot reports the same stats as a straight run.
+        self._path_meta = {id(meta[0]): meta for meta in self._path_meta.values()}
+        self._isolated_rates = {
+            id(memo[0]): memo for memo in self._isolated_rates.values()
+        }
+        self._content_rates = {
+            (key[0], tuple(id(anchor) for anchor in memo[0])): memo
+            for key, memo in self._content_rates.items()
+        }
+        self._batch_shapes = {
+            (key[0], tuple(id(anchor) for anchor in shape.anchors)): shape
+            for key, shape in self._batch_shapes.items()
+        }
+
     def _quantize(self, time: float) -> float:
         """Round ``time`` up to the next coarsening-quantum boundary.
 
@@ -906,8 +937,10 @@ class FlowSimulator:
         resolver: Optional[PathResolver] = None
         if callable(path):
             resolver, path = path, ()
+        flow_id = self._counter
+        self._counter = flow_id + 1
         flow = Flow(
-            flow_id=next(self._counter),
+            flow_id=flow_id,
             path=path,
             size_bytes=size_bytes,
             start_time=start_time,
@@ -948,7 +981,7 @@ class FlowSimulator:
         version = self.topology.version if self.topology is not None else None
         group = _FlowGroup(len(items), on_complete)
         group.items = items
-        counter = self._counter
+        flow_id = self._counter
         batch = self._pending_at.get(start_time)
         if batch is None:
             self._pending_at[start_time] = batch = []
@@ -962,7 +995,8 @@ class FlowSimulator:
             # Inlined Flow construction: this loop runs once per transfer of
             # every collective step, so the constructor call overhead counts.
             flow = new_flow(Flow)
-            flow.flow_id = flow_id = next(counter)
+            flow.flow_id = flow_id
+            flow_id += 1
             flow.path = path if type(path) is tuple else tuple(path)
             flow.size_bytes = size_bytes
             flow.start_time = start_time
@@ -978,12 +1012,13 @@ class FlowSimulator:
             flow._path_latency = 0.0
             batch.append(flow)
             created.append(flow)
+        self._counter = flow_id
         if not items:
             # Degenerate empty batch: nothing will ever decrement the group,
-            # so it completes at its start time.
-            self.engine.schedule(
-                start_time, lambda engine, _p: on_complete(engine.now), None
-            )
+            # so it completes at its start time.  The callback is a named
+            # continuation (not a closure) so a snapshot taken while the
+            # event is pending stays serializable.
+            self.engine.schedule(start_time, _complete_empty_batch, on_complete)
         return created
 
     def flow(self, flow_id: int) -> Flow:

@@ -30,6 +30,7 @@ from ..parallelism.dag import Operation
 from ..parallelism.mesh import DeviceMesh
 from ..parallelism.trace import ReconfigRecord
 from ..topology.devices import ClusterSpec
+from .snapshot import Snapshottable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .faults import FaultInjector, FaultPlan
@@ -53,8 +54,14 @@ class CommTiming:
         return self.end - self.start
 
 
-class NetworkModel(ABC):
-    """Timing oracle for communication operations."""
+class NetworkModel(Snapshottable, ABC):
+    """Timing oracle for communication operations.
+
+    Every model is snapshottable: its whole state — including any bound
+    fault injector and, for flow models, the shared simulator — captures
+    into a :class:`~repro.simulator.snapshot.SimState` and restores (or
+    forks) with bit-for-bit identical continuation.
+    """
 
     def __init__(self, cluster: ClusterSpec, mesh: DeviceMesh) -> None:
         self.cluster = cluster
@@ -86,6 +93,23 @@ class NetworkModel(ABC):
         from .faults import FaultInjector
 
         self.fault_injector = FaultInjector(plan)
+
+    def extend_fault_plan(self, plan: "FaultPlan") -> None:
+        """Install additional fault events on a live (possibly mid-run) model.
+
+        This is how a forked simulation diverges from the shared prefix it
+        was copied from.  With no plan installed yet it is a plain
+        (mid-run) :meth:`install_fault_plan`; otherwise the live injector
+        gains the new events while keeping its applied-event cursor.  Flow
+        models override this to also invalidate their route caches and
+        schedule the events on the flow engine.
+        """
+        if plan.is_empty:
+            return
+        if self.fault_injector is None:
+            self.install_fault_plan(plan)
+        else:
+            self.fault_injector.extend(plan.events)
 
     # ------------------------------------------------------------------ #
     # Shared helpers

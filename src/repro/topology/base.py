@@ -23,14 +23,18 @@ caches on the version instead of assuming a static graph.
 
 from __future__ import annotations
 
-import itertools
+import copy
+import pickle
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from ..errors import TopologyError
+from ..errors import SnapshotError, TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.snapshot import SimState
 
 
 class NodeKind(str, Enum):
@@ -111,7 +115,9 @@ class Topology:
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[int, Link] = {}
         self._graph = nx.MultiDiGraph()
-        self._link_counter = itertools.count()
+        # Plain int rather than itertools.count so id allocation is explicit
+        # snapshot state (a count object cannot be rewound or compared).
+        self._link_counter = 0
         self._version = 0
         #: Flattened routing adjacency (node -> [(neighbor, link), ...]) with
         #: parallel links pre-resolved to min link_id; rebuilt lazily when
@@ -161,13 +167,15 @@ class Topology:
         """Add a unidirectional link from ``src`` to ``dst``."""
         self._require_node(src)
         self._require_node(dst)
+        link_id = self._link_counter
+        self._link_counter = link_id + 1
         link = Link(
             src=src,
             dst=dst,
             bandwidth=bandwidth,
             latency=latency,
             kind=kind,
-            link_id=next(self._link_counter),
+            link_id=link_id,
         )
         self._links[link.link_id] = link
         self._graph.add_edge(src, dst, key=link.link_id, link=link)
@@ -280,6 +288,82 @@ class Topology:
             self._links.get(link_id) or self._failed_links[link_id]
             for link_id in self._original_bandwidth
         ]
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support
+    # ------------------------------------------------------------------ #
+
+    @property
+    def snapshot_kind(self) -> str:
+        return "Topology"
+
+    def snapshot(self) -> "SimState":
+        """Capture the link *health* state (failures, degradations).
+
+        A topology snapshot is deliberately lightweight: it records which
+        links are failed and every link's current bandwidth, not the graph
+        structure.  That makes it only valid for fabrics whose link set is
+        fixed for the life of the run (electrical fat-trees, rail-optimized
+        fabrics under fault injection).  Circuit fabrics add and tear
+        optical links mid-run; they are captured through the full session
+        snapshot instead, which pickles the whole object graph.
+        """
+        from ..simulator.snapshot import SimState
+
+        bandwidth = {link.link_id: link.bandwidth for link in self._links.values()}
+        bandwidth.update(
+            (link.link_id, link.bandwidth) for link in self._failed_links.values()
+        )
+        payload = {
+            "structure": frozenset(bandwidth),
+            "failed": frozenset(self._failed_links),
+            "bandwidth": bandwidth,
+            "original": dict(self._original_bandwidth),
+            "link_counter": self._link_counter,
+            "version": self._version,
+        }
+        return SimState(
+            kind=self.snapshot_kind,
+            payload=pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def restore(self, state: "SimState") -> None:
+        """Reapply a captured health state onto this topology's own links.
+
+        Restoring preserves :class:`Link` object identity — consumers holding
+        references to this topology's links (route caches, installed flow
+        paths) see the snapshot's bandwidths through the objects they already
+        hold.  The version counter is *not* rewound: it moves strictly
+        forward past both the live and the captured value, so any cache keyed
+        on a version between the snapshot and now is invalidated rather than
+        spuriously revalidated.
+        """
+        state.require(self.snapshot_kind)
+        payload = pickle.loads(state.payload)
+        current = frozenset(self._links) | frozenset(self._failed_links)
+        if payload["structure"] != current:
+            raise SnapshotError(
+                f"topology {self.name!r} has a different link set than the "
+                "snapshot; structurally dynamic (circuit) fabrics must be "
+                "restored through the owning session, not link-by-link"
+            )
+        failed = payload["failed"]
+        for link_id in sorted(frozenset(self._failed_links) - failed):
+            self.restore_link(link_id)
+        for link_id in sorted(failed - frozenset(self._failed_links)):
+            self.fail_link(link_id)
+        for link_id, bandwidth in payload["bandwidth"].items():
+            link = self._links.get(link_id) or self._failed_links[link_id]
+            link.bandwidth = bandwidth
+        self._original_bandwidth = dict(payload["original"])
+        self._link_counter = max(self._link_counter, payload["link_counter"])
+        self._version = max(self._version, payload["version"]) + 1
+        self._routing_adjacency = None
+        self._routing_adjacency_version = -1
+
+    def fork(self) -> "Topology":
+        """An independent deep copy (links, graph, and health state)."""
+        return copy.deepcopy(self)
 
     # ------------------------------------------------------------------ #
     # Lookup

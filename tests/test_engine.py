@@ -118,6 +118,29 @@ def test_run_until_stops_the_clock_without_draining():
     assert engine.pending == 1
 
 
+def test_run_until_advances_the_clock_on_an_empty_queue():
+    """``run(until=t)`` must land the clock on ``t`` even with nothing queued.
+
+    The clock used to stay wherever the last event left it when the queue
+    drained before ``until``, so a subsequent ``schedule(now + dt)`` computed
+    against a stale instant — visible as faults scheduled relative to ``now``
+    landing in the past after an idle window.
+    """
+    engine = SimulationEngine()
+    assert engine.run(until=3.0) == 3.0
+    assert engine.now == 3.0  # empty queue from the start
+
+    fired = []
+    engine.schedule(4.0, lambda _e, p: fired.append(p), "a")
+    assert engine.run(until=9.0) == 9.0
+    assert fired == ["a"]
+    assert engine.now == 9.0  # queue drained at 4.0, clock still reaches 9.0
+
+    # A later `until` in the past of the clock must never rewind it.
+    assert engine.run(until=1.0) == 9.0
+    assert engine.now == 9.0
+
+
 def test_event_budget_guards_runaway_loops():
     engine = SimulationEngine()
 

@@ -112,6 +112,82 @@ def test_golden_files_cover_every_case():
     )
 
 
+#: Scenarios of the snapshot/restore golden case — one per network-model
+#: family (analytic, flow, photonic flow) plus a mid-run NIC failure, the
+#: regime with the most in-flight state (pending engine events, contended
+#: rates, fault schedules) a checkpoint must carry.
+_SNAPSHOT_CASE_SCENARIOS = {
+    "contention_free_analytic": lambda: contention_free_scenario(
+        num_iterations=4
+    ).with_knobs(network_mode="analytic"),
+    "shared_uplink": lambda: shared_uplink_incast_scenario(
+        num_iterations=4
+    ).with_knobs(network_mode="flow"),
+    "provisioned_photonic": lambda: provisioned_photonic_scenario(
+        num_iterations=4
+    ).with_knobs(network_mode="flow"),
+    "degraded_fattree_failed": lambda: degraded_fabric_scenario(
+        "fattree", "failed", num_iterations=4, fault_time=0.2
+    ),
+}
+
+
+def _snapshot_restore_continue_dict() -> dict:
+    """Each scenario run straight and via a midpoint checkpoint round trip.
+
+    Both the straight trace and the resumed trace are captured so the golden
+    file pins checkpoint behavior itself, not just final-state agreement.
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.experiments.session import SimulationSession
+
+    payload: dict = {}
+    for name, factory in _SNAPSHOT_CASE_SCENARIOS.items():
+        scenario = factory()
+        straight = SimulationSession.start(scenario)
+        straight.run_to(scenario.num_iterations)
+
+        session = SimulationSession.start(scenario)
+        session.run_to(scenario.num_iterations // 2)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = _Path(tmp) / "ckpt.bin"
+            session.save(path)
+            resumed = SimulationSession.load(path)
+        resumed.run_to(scenario.num_iterations)
+
+        payload[name] = {
+            "straight": [t.to_dict() for t in straight.trace.iterations],
+            "resumed": [t.to_dict() for t in resumed.trace.iterations],
+        }
+    return payload
+
+
+def test_snapshot_restore_continue_golden(update_golden):
+    """Midpoint checkpoint + resume is bit-for-bit the straight run — pinned.
+
+    The in-test assertion catches restore drift directly; the golden file
+    additionally pins the trace contents, so a change that breaks *both*
+    paths identically (and would slip past the equality check) still shows
+    up as a diff against the committed JSON.
+    """
+    payload = _snapshot_restore_continue_dict()
+    for name, case in payload.items():
+        assert case["resumed"] == case["straight"], name
+
+    path = GOLDEN_DIR / "snapshot_restore_continue.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(_canonical(payload))
+        return
+    assert path.exists(), (
+        f"golden trace {path} missing; generate it with "
+        "pytest tests/test_golden_traces.py --update-golden"
+    )
+    assert json.loads(_canonical(payload)) == json.loads(path.read_text())
+
+
 def test_explicit_zero_knobs_reproduce_the_exact_golden_trace():
     """ε = 0 / quantum = 0 is the exact engine, bit-for-bit.
 

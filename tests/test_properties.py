@@ -295,3 +295,156 @@ def test_epsilon_allocation_never_oversubscribes_a_link(seed):
     load, capacity = _per_link_load(transfers, rates)
     for key, total in load.items():
         assert total <= capacity[key] * (1 + 1e-9), (key, total, capacity[key])
+
+
+# --------------------------------------------------------------------------- #
+# Fork-sweeps vs independent straight runs
+# --------------------------------------------------------------------------- #
+
+#: (backend, network mode, fault kinds that combination supports) — the three
+#: network-model families, with seeded random fault schedules drawn from each
+#: family's supported kinds.
+_FORK_FAMILIES = None  # populated lazily; the imports are heavier than flows'
+
+
+def _fork_families():
+    global _FORK_FAMILIES
+    if _FORK_FAMILIES is None:
+        from repro.simulator.faults import FaultKind
+
+        _FORK_FAMILIES = (
+            ("fattree", "analytic", (FaultKind.COMPUTE_SLOWDOWN,)),
+            (
+                "fattree",
+                "flow",
+                (
+                    FaultKind.COMPUTE_SLOWDOWN,
+                    FaultKind.LINK_DEGRADE,
+                    FaultKind.LINK_FAIL,
+                ),
+            ),
+            (
+                "photonic",
+                "flow",
+                (
+                    FaultKind.COMPUTE_SLOWDOWN,
+                    FaultKind.LINK_DEGRADE,
+                    FaultKind.LINK_FAIL,
+                ),
+            ),
+        )
+    return _FORK_FAMILIES
+
+
+def _random_fault_event(rng, backend, kinds, time):
+    from repro.simulator.faults import FaultEvent, FaultKind
+
+    kind = rng.choice(kinds)
+    if kind is FaultKind.COMPUTE_SLOWDOWN:
+        return FaultEvent(
+            time=time,
+            kind=kind,
+            rank=rng.choice((None, 0, 1)),
+            factor=round(rng.uniform(1.1, 2.0), 3),
+        )
+    if kind is FaultKind.LINK_DEGRADE:
+        return FaultEvent(
+            time=time,
+            kind=kind,
+            link_kind="host" if backend == "photonic" else "electrical",
+            fraction=round(rng.uniform(0.6, 0.95), 3),
+        )
+    # LINK_FAIL: the degraded-fabric family's NIC-attachment failure — the
+    # one link whose loss genuinely shrinks the bottleneck cut on every
+    # backend (parallel fabric links are absorbed by single-path routing).
+    return FaultEvent(time=time, kind=kind, src="gpu0", dst="gpu0.nic*")
+
+
+def _random_fork_grid(rng, seed):
+    """Three scenarios differing only in seeded random fault schedules.
+
+    Some seeds produce no fault plans at all (members then differ in
+    iteration count: the divergence-free fast path), some share a leading
+    event (a non-empty common prefix), and members may coincide entirely
+    (exercising memoization around the fork path).
+    """
+    from dataclasses import replace
+
+    from repro.experiments.contention import degraded_fabric_scenario
+    from repro.simulator.faults import FaultPlan
+
+    backend, mode, kinds = _fork_families()[seed % len(_fork_families())]
+    base = lambda n: degraded_fabric_scenario(
+        backend=backend,
+        condition="healthy",
+        network_mode=mode,
+        num_iterations=n,
+    )
+    if rng.random() < 0.25:  # no faults anywhere: members differ in length
+        return [
+            replace(base(n), name=f"fork-{backend}-{mode}-n{n}")
+            for n in (1, 2, 3)
+        ]
+    iterations = rng.choice((2, 3))
+    shared_event = (
+        _random_fault_event(rng, backend, kinds, 0.1)
+        if rng.random() < 0.5
+        else None
+    )
+    from repro.simulator.faults import FaultKind
+
+    scenarios = []
+    for member in range(3):
+        events = [] if shared_event is None else [shared_event]
+        for _ in range(rng.randint(0, 2)):
+            # The NIC-attachment LINK_FAIL kills every matching link at
+            # once, so a second one would find nothing to fail — keep at
+            # most one per plan.
+            available = tuple(
+                kind
+                for kind in kinds
+                if kind is not FaultKind.LINK_FAIL
+                or not any(e.kind is FaultKind.LINK_FAIL for e in events)
+            )
+            events.append(
+                _random_fault_event(
+                    rng, backend, available, round(rng.uniform(0.15, 0.35), 3)
+                )
+            )
+        scenario = base(iterations)
+        knobs = dict(scenario.knobs)
+        if events:
+            knobs["faults"] = FaultPlan(
+                events=tuple(sorted(events, key=lambda event: event.time))
+            )
+        scenarios.append(
+            replace(
+                scenario,
+                knobs=knobs,
+                name=f"fork-{backend}-{mode}-m{member}",
+            )
+        )
+    return scenarios
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fork_sweeps_equal_independent_straight_runs(seed):
+    """``run_many(fork=True)`` is bit-for-bit ``run_many()`` on any grid.
+
+    Shared-prefix forking is a pure execution strategy: for seeded random
+    grids over all three network-model families — analytic, flow, and
+    photonic flow, with and without fault plans — every member's iteration
+    times *and* every metric (including allocator work counters, the most
+    fragile state across a fork) must equal an independent straight run's.
+    """
+    from repro.experiments.runner import ExperimentRunner
+
+    rng = random.Random(seed)
+    scenarios = _random_fork_grid(rng, seed)
+    straight = ExperimentRunner().run_many(scenarios)
+    forked = ExperimentRunner().run_many(scenarios, fork=True)
+    for scenario, one, other in zip(scenarios, straight, forked):
+        assert list(one.iteration_times) == list(other.iteration_times), (
+            scenario.name
+        )
+        assert dict(one.metrics) == dict(other.metrics), scenario.name

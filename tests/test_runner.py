@@ -133,6 +133,52 @@ def test_failing_scenario_in_parallel_sweep_reports_its_name(base):
         runner.run_many([bad, base.with_knobs()])
 
 
+def test_fork_sweep_results_are_memoized_per_member(base):
+    from dataclasses import replace
+
+    grid = [replace(base, num_iterations=n, name=f"len-{n}") for n in (1, 2, 3)]
+    runner = ExperimentRunner(executor="serial")
+    forked = runner.run_many(grid, fork=True)
+    assert runner.cache_misses == 3
+    # Each branch result is cached under its *member's* configuration hash,
+    # not the shared-prefix session's normalized one.
+    assert [r.config_hash for r in forked] == [scenario_hash(s) for s in grid]
+
+    again = runner.run_many(grid)
+    assert runner.cache_hits == 3
+    assert all(one is two for one, two in zip(forked, again))
+
+
+def test_fork_sweep_serves_cache_hits_without_forking(base, monkeypatch):
+    from dataclasses import replace
+
+    grid = [replace(base, num_iterations=n) for n in (1, 2)]
+    runner = ExperimentRunner(executor="serial")
+    straight = runner.run_many(grid)
+
+    def explode(*_args, **_kwargs):
+        raise AssertionError("cache hits must not reach the fork path")
+
+    monkeypatch.setattr(runner, "_run_fork_group", explode)
+    monkeypatch.setattr(runner_module, "run_scenario", explode)
+    hits = runner.cache_hits
+    assert runner.run_many(grid, fork=True) == straight
+    assert runner.cache_hits == hits + 2
+
+
+def test_duplicate_points_in_a_fork_batch_simulate_once(base):
+    from dataclasses import replace
+
+    a = replace(base, num_iterations=1, name="a")
+    b = replace(base, num_iterations=2, name="b")
+    dup = replace(a, name="dup-of-a")
+    runner = ExperimentRunner(executor="serial")
+    results = runner.run_many([a, b, dup], fork=True)
+    assert runner.cache_misses == 2
+    assert runner.cache_hits == 1
+    assert results[2] is results[0]
+
+
 def test_clear_cache_resets_statistics(base):
     runner = ExperimentRunner()
     runner.run(base)
