@@ -20,6 +20,11 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.9",
     install_requires=["networkx", "numpy"],
+    extras_require={
+        # CI installs `.[test]` so this file stays the single source of
+        # truth for what the test jobs need beyond the library itself.
+        "test": ["pytest"],
+    },
     entry_points={
         "console_scripts": [
             "repro-sim=repro.experiments.cli:main",

@@ -94,6 +94,30 @@ class SnapshotError(SimulationError):
     """
 
 
+class StoreError(ReproError):
+    """A persistent result-store entry could not be read or written.
+
+    Raised when an on-disk envelope is not a repro-sim result at all, was
+    written by an incompatible store format version, does not match the
+    content hash it is filed under, or when a requested hash is malformed.
+    Absent entries are *not* errors — lookups return ``None`` for those.
+    """
+
+
+class SpecValidationError(ReproError):
+    """A submitted experiment spec was rejected at the service door.
+
+    Carries a stable machine-readable ``code`` (``"malformed-json"``,
+    ``"unknown-backend"``, ``"capability-violation"``, ``"oversized-grid"``,
+    ...) next to the human-readable message, so HTTP clients and the
+    quarantine log can track rejection reasons without parsing prose.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class ScenarioError(ReproError):
     """A scenario failed to simulate.
 

@@ -37,6 +37,23 @@ Subcommands
 
       repro-sim resume --checkpoint ckpt.bin --format json
 
+* ``repro-sim serve`` — run the persistent experiment service: an HTTP/JSON
+  API over a validated job queue, a shared worker-process pool, and an
+  on-disk content-addressed result store (see :mod:`repro.service`)::
+
+      repro-sim serve --port 8070 --store /var/tmp/repro-store --workers 4
+
+* ``repro-sim submit`` — submit a sweep to a running service (same scenario
+  flags as ``sweep``; ``--wait`` polls to completion and emits results)::
+
+      repro-sim submit --url http://127.0.0.1:8070 --backend electrical \\
+          --grid network_mode=analytic,flow --wait
+
+* ``repro-sim status`` — fetch (or ``--wait`` on) a submitted job by id.
+
+* ``repro-sim fetch`` — fetch one stored result envelope by configuration
+  hash, straight from the service's content-addressed store.
+
 * ``repro-sim fig8`` — the paper's Fig. 8 reconfiguration-latency sweep
   (normalized against the electrical baseline) through the experiment runner.
 
@@ -58,6 +75,7 @@ import argparse
 import csv
 import io
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -483,6 +501,167 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from ..service import ExperimentServer, ExperimentService
+
+    service = ExperimentService(
+        store_dir=args.store,
+        max_workers=args.workers,
+        job_workers=args.job_workers,
+        max_grid_points=args.max_grid_points,
+        executor=args.executor,
+    )
+    server = ExperimentServer(service, host=args.host, port=args.port)
+    # One machine-readable ready line on stdout: harnesses (the CI smoke
+    # test) read the actual URL from it, which makes --port 0 usable.
+    print(
+        json.dumps(
+            {
+                "serving": server.url,
+                "store": str(service.store.root),
+                "workers": service.num_workers,
+                "pid": os.getpid(),
+            }
+        ),
+        flush=True,
+    )
+
+    def _terminate(signum, frame):  # noqa: ARG001
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro-sim serve: shutting down", file=sys.stderr)
+    finally:
+        server.httpd.shutdown()
+        server.httpd.server_close()
+        service.close()
+    return 0
+
+
+def _submit_spec_from_args(args: argparse.Namespace) -> dict:
+    """Build the JSON sweep spec the service validates from ``submit`` flags.
+
+    Values stay JSON-native (the *server* resolves technology names and
+    fault plans), but flags mirror ``sweep`` exactly, so a spec submitted
+    over HTTP builds the same scenarios — and configuration hashes — as the
+    equivalent one-shot ``repro-sim sweep`` invocation.
+    """
+    knobs: Dict[str, object] = {}
+    for pair in args.knob:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ConfigurationError(f"knob {pair!r} must look like key=value")
+        knobs[key.strip()] = parse_value(value)
+    if args.network_mode is not None:
+        existing = knobs.get("network_mode")
+        if existing is not None and existing != args.network_mode:
+            raise ConfigurationError(
+                f"--network-mode {args.network_mode} conflicts with "
+                f"--knob network_mode={existing}"
+            )
+        knobs["network_mode"] = args.network_mode
+    for flag in ("allocator_epsilon", "coarsen_quantum"):
+        value = getattr(args, flag, None)
+        if value is not None:
+            knobs[flag] = value
+    if getattr(args, "fault_plan", None) is not None:
+        if "faults" in knobs:
+            raise ConfigurationError(
+                "--fault-plan conflicts with --knob faults=...; pick one way "
+                "to inject faults"
+            )
+        with open(args.fault_plan) as handle:
+            try:
+                knobs["faults"] = json.load(handle)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"cannot read fault plan {args.fault_plan!r}: {exc}"
+                ) from exc
+    workload_args: Dict[str, object] = {}
+    for override in args.workload_arg:
+        key, sep, value = override.partition("=")
+        if not sep:
+            raise ConfigurationError(
+                f"workload override {override!r} must look like key=value"
+            )
+        workload_args[key.strip()] = parse_value(value)
+    grid: Dict[str, List[object]] = {}
+    for pair in args.grid:
+        key, sep, values = pair.partition("=")
+        if not sep or not values:
+            raise ConfigurationError(f"grid {pair!r} must look like key=v1,v2,...")
+        grid[key.strip()] = [parse_value(value) for value in values.split(",")]
+    scenario: Dict[str, object] = {
+        "workload": args.workload,
+        "cluster": args.cluster,
+        "backend": args.backend,
+        "iterations": args.iterations,
+        "mfu": args.mfu,
+    }
+    if workload_args:
+        scenario["workload_args"] = workload_args
+    if knobs:
+        scenario["knobs"] = knobs
+    spec: Dict[str, object] = {"scenario": scenario}
+    if grid:
+        spec["grid"] = grid
+    if args.fork:
+        spec["fork"] = True
+    return spec
+
+
+def _emit_job(job: dict, args: argparse.Namespace) -> None:
+    """Emit a finished job's results as rows, or the raw job record."""
+    if job.get("state") == "done" and job.get("results"):
+        results = [ScenarioResult.from_dict(row) for row in job["results"]]
+        _emit(_result_rows(results, args.format), args.format, args.output)
+        print(
+            f"job {job['id']}: {job['num_points']} points, "
+            f"{job['points_simulated']} simulated, cache "
+            f"{job.get('points_from_cache') or {}}",
+            file=sys.stderr,
+        )
+    else:
+        _emit([job], args.format, args.output, single=True)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from ..service import ServiceClient
+
+    spec = _submit_spec_from_args(args)
+    client = ServiceClient(args.url)
+    job = client.submit(spec)
+    if args.wait:
+        job = client.wait(job["id"], timeout=args.timeout, raise_on_failure=False)
+    _emit_job(job, args)
+    return 0 if job.get("state") != "failed" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from ..service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.wait:
+        job = client.wait(args.job, timeout=args.timeout, raise_on_failure=False)
+    else:
+        job = client.job(args.job)
+    _emit_job(job, args)
+    return 0 if job.get("state") != "failed" else 1
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from ..service import ServiceClient
+
+    envelope = ServiceClient(args.url).result(args.hash)
+    _emit([envelope], args.format, args.output, single=True)
+    return 0
+
+
 def _cmd_fig8(args: argparse.Namespace) -> int:
     from ..core.system import reconfiguration_latency_sweep
 
@@ -640,6 +819,101 @@ def build_parser() -> argparse.ArgumentParser:
     scale_parser.add_argument("--format", choices=("json", "csv"), default="json")
     scale_parser.add_argument("--output", default=None)
     scale_parser.set_defaults(func=_cmd_scale)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the persistent experiment service (HTTP API + job queue "
+        "+ content-addressed result store)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8070,
+        help="listening port (0 binds an ephemeral port; the ready line on "
+        "stdout reports the actual URL)",
+    )
+    serve_parser.add_argument(
+        "--store",
+        default=".repro-store",
+        metavar="DIR",
+        help="directory of the persistent result store and quarantine log",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="simulation worker processes (default: CPU count, capped at 8)",
+    )
+    serve_parser.add_argument(
+        "--job-workers",
+        type=int,
+        default=4,
+        help="jobs allowed to run concurrently",
+    )
+    serve_parser.add_argument(
+        "--max-grid-points",
+        type=int,
+        default=None,
+        help="largest grid one submission may expand into (default 256)",
+    )
+    serve_parser.add_argument(
+        "--executor",
+        choices=("process", "serial"),
+        default="process",
+        help="'serial' simulates inline on the job thread (debugging)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a sweep to a running experiment service"
+    )
+    _add_scenario_arguments(submit_parser)
+    submit_parser.add_argument(
+        "--url", required=True, help="service base URL, e.g. http://127.0.0.1:8070"
+    )
+    submit_parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2",
+        help="sweep dimension (repeatable); scenario fields or backend knobs",
+    )
+    submit_parser.add_argument(
+        "--fork",
+        action="store_true",
+        help="ask the service to delta-sweep fault-schedule grids",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll the job to completion and emit its results",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait timeout in seconds"
+    )
+    submit_parser.set_defaults(func=_cmd_submit)
+
+    status_parser = subparsers.add_parser(
+        "status", help="fetch a submitted job's state (and results when done)"
+    )
+    status_parser.add_argument("--url", required=True)
+    status_parser.add_argument("--job", required=True, metavar="JOB_ID")
+    status_parser.add_argument("--wait", action="store_true")
+    status_parser.add_argument("--timeout", type=float, default=600.0)
+    status_parser.add_argument("--format", choices=("json", "csv"), default="json")
+    status_parser.add_argument("--output", default=None)
+    status_parser.set_defaults(func=_cmd_status)
+
+    fetch_parser = subparsers.add_parser(
+        "fetch",
+        help="fetch one stored result envelope by configuration hash",
+    )
+    fetch_parser.add_argument("--url", required=True)
+    fetch_parser.add_argument("--hash", required=True, metavar="CONFIG_HASH")
+    fetch_parser.add_argument("--format", choices=("json", "csv"), default="json")
+    fetch_parser.add_argument("--output", default=None)
+    fetch_parser.set_defaults(func=_cmd_fetch)
 
     fig8_parser = subparsers.add_parser(
         "fig8", help="the paper's Fig. 8 reconfiguration-latency sweep"

@@ -29,10 +29,11 @@ import hashlib
 import itertools
 import json
 import os
+import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, ScenarioError
 from ..parallelism.config import WorkloadConfig
@@ -130,6 +131,27 @@ class ScenarioResult:
             "worker": self.worker,
             "wall_time": self.wall_time,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        JSON round-trips finite floats exactly, so a result loaded from the
+        persistent store is bit-identical to the freshly simulated one.
+        """
+        return cls(
+            name=data["name"],
+            backend=data["backend"],
+            config_hash=data["config_hash"],
+            num_iterations=int(data["num_iterations"]),
+            knobs=dict(data["knobs"]),
+            iteration_times=tuple(data["iteration_times"]),
+            reconfigurations=tuple(data["reconfigurations"]),
+            reconfig_blocking=tuple(data["reconfig_blocking"]),
+            metrics=dict(data["metrics"]),
+            worker=data["worker"],
+            wall_time=data["wall_time"],
+        )
 
     def to_row(self) -> Dict[str, object]:
         """Flat single-level mapping for CSV output."""
@@ -281,6 +303,18 @@ class ExperimentRunner:
         simulation is deterministic, so all three produce identical results.
     memoize:
         Cache results by configuration hash (default True).
+    store:
+        Optional persistent :class:`~repro.service.store.ResultStore`
+        extending the in-memory memo onto disk: lookups fall through memory
+        to the store (a hit also counts in :attr:`store_hits`), and every
+        freshly simulated result is filed there — so repeated grid points
+        are served instantly *across* processes and runs.  Only consulted
+        when ``memoize`` is on.
+    pool:
+        Optional long-lived ``concurrent.futures`` executor to shard cache
+        misses across instead of spinning up a pool per batch (the
+        experiment service keeps one warm worker-process pool for its whole
+        lifetime).  Ignored with ``executor="serial"``.
     """
 
     def __init__(
@@ -288,6 +322,8 @@ class ExperimentRunner:
         max_workers: Optional[int] = None,
         executor: str = "process",
         memoize: bool = True,
+        store: Optional[object] = None,
+        pool: Optional[Executor] = None,
     ) -> None:
         if executor not in ("thread", "process", "serial"):
             raise ConfigurationError(
@@ -298,9 +334,16 @@ class ExperimentRunner:
         self.max_workers = max_workers or os.cpu_count() or 2
         self.executor = executor
         self.memoize = memoize
+        self.store = store
+        self.pool = pool
         self.cache_hits = 0
         self.cache_misses = 0
+        self.store_hits = 0
         self._cache: Dict[str, ScenarioResult] = {}
+        # run_many may be driven from several threads at once (the
+        # experiment service runs concurrent jobs against one shared
+        # runner); the lock keeps cache bookkeeping consistent.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -311,14 +354,27 @@ class ExperimentRunner:
         return self.run_many([scenario])[0]
 
     def run_many(
-        self, scenarios: Sequence[Scenario], fork: bool = False
+        self,
+        scenarios: Sequence[Scenario],
+        fork: bool = False,
+        on_simulated: Optional[Callable[[ScenarioResult], None]] = None,
+        on_hit: Optional[Callable[[ScenarioResult, str], None]] = None,
     ) -> List[ScenarioResult]:
         """Run a batch of scenarios, preserving input order.
 
         With memoization on, cache hits — including duplicate configurations
         *within* the batch — are served without simulating and only the
-        unique remainder is fanned out over the configured workers.  With
-        ``memoize=False`` every scenario is simulated, duplicates included.
+        unique remainder is fanned out over the configured workers.  With a
+        :attr:`store` attached, points missing from memory but present in
+        the persistent store are loaded from disk instead of simulated, and
+        fresh results are filed there.  With ``memoize=False`` every
+        scenario is simulated, duplicates included, and the store is not
+        consulted.
+
+        ``on_simulated(result)`` fires once per freshly simulated point and
+        ``on_hit(result, tier)`` once per point served without simulating
+        (``tier`` ∈ ``"memory"`` / ``"store"`` / ``"batch"``) — the
+        accounting hooks behind the service's telemetry.
 
         With ``fork=True`` the remainder is first grouped by shared scenario
         prefix (see :func:`_fork_group_key`): each group simulates one
@@ -330,33 +386,55 @@ class ExperimentRunner:
         """
         keys = [scenario_hash(scenario) for scenario in scenarios]
         results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
+        hit_tiers: Dict[int, str] = {}
         to_run: List[int] = []
         first_occurrence: Dict[str, int] = {}
-        for index, key in enumerate(keys):
-            if not self.memoize:
-                to_run.append(index)
-                continue
-            if key in self._cache:
-                self.cache_hits += 1
-                results[index] = self._cache[key]
-            elif key in first_occurrence:
-                self.cache_hits += 1  # duplicate point inside this batch
-            else:
-                first_occurrence[key] = index
-                to_run.append(index)
+        with self._lock:
+            for index, key in enumerate(keys):
+                if not self.memoize:
+                    to_run.append(index)
+                    continue
+                if key in self._cache:
+                    self.cache_hits += 1
+                    results[index] = self._cache[key]
+                    hit_tiers[index] = "memory"
+                elif key in first_occurrence:
+                    self.cache_hits += 1  # duplicate point inside this batch
+                    hit_tiers[index] = "batch"
+                else:
+                    stored = self.store.get(key) if self.store is not None else None
+                    if stored is not None:
+                        self.cache_hits += 1
+                        self.store_hits += 1
+                        self._cache[key] = stored
+                        results[index] = stored
+                        hit_tiers[index] = "store"
+                    else:
+                        first_occurrence[key] = index
+                        to_run.append(index)
+            if to_run:
+                self.cache_misses += len(to_run)
 
         if to_run:
-            self.cache_misses += len(to_run)
             pending = [scenarios[index] for index in to_run]
             fresh = self._execute_forked(pending) if fork else self._execute(pending)
-            for index, result in zip(to_run, fresh):
-                results[index] = result
-                if self.memoize:
-                    self._cache[keys[index]] = result
+            with self._lock:
+                for index, result in zip(to_run, fresh):
+                    results[index] = result
+                    if self.memoize:
+                        self._cache[keys[index]] = result
+            for result in fresh:
+                if on_simulated is not None:
+                    on_simulated(result)
+                if self.memoize and self.store is not None:
+                    self.store.put(result)
             # Serve within-batch duplicates from their first occurrence.
             for index, key in enumerate(keys):
                 if results[index] is None:
                     results[index] = results[first_occurrence[key]]
+        if on_hit is not None:
+            for index, tier in hit_tiers.items():
+                on_hit(results[index], tier)
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
@@ -370,10 +448,16 @@ class ExperimentRunner:
         return self.run_many(expand_grid(base, grid), fork=fork)
 
     def clear_cache(self) -> None:
-        """Drop all memoized results and reset the hit/miss counters."""
-        self._cache.clear()
-        self.cache_hits = 0
-        self.cache_misses = 0
+        """Drop all memoized results and reset the hit/miss counters.
+
+        Only touches the in-memory memo — a persistent :attr:`store` keeps
+        its entries (delete its directory to truly start over).
+        """
+        with self._lock:
+            self._cache.clear()
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.store_hits = 0
 
     @property
     def cache_size(self) -> int:
@@ -385,8 +469,14 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
 
     def _execute(self, scenarios: List[Scenario]) -> List[ScenarioResult]:
-        if self.executor == "serial" or len(scenarios) == 1:
+        if self.executor == "serial":
             return [_execute_scenario(scenario) for scenario in scenarios]
+        if self.pool is not None:
+            # A long-lived shared pool (the experiment service): workers are
+            # already warm, so even single-scenario batches go there.
+            return list(self.pool.map(_execute_scenario, scenarios))
+        if len(scenarios) == 1:
+            return [_execute_scenario(scenarios[0])]
         workers = min(self.max_workers, len(scenarios))
         pool: Executor
         if self.executor == "process":

@@ -1,0 +1,40 @@
+"""Sweep-as-a-service: the persistent experiment server.
+
+This package turns the one-shot :class:`~repro.experiments.runner.
+ExperimentRunner` into a long-running system: an HTTP/JSON API
+(:mod:`~repro.service.server`) in front of a validated job queue
+(:mod:`~repro.service.queue`) that shards simulations across a shared
+worker-process pool and answers repeated grid points from a persistent
+content-addressed result store (:mod:`~repro.service.store`).  Submissions
+are validated at the door (:mod:`~repro.service.validation`) with rejected
+specs quarantined, and live operational counters are served from
+:mod:`~repro.service.telemetry`.  :mod:`~repro.service.client` is the
+matching stdlib HTTP client.
+
+Surface it from the CLI as ``repro-sim serve`` / ``submit`` / ``status`` /
+``fetch``.
+"""
+
+from .client import ServiceClient, ServiceError, wait_until_healthy
+from .queue import ExperimentService, Job, QuarantineLog
+from .server import ExperimentServer
+from .store import STORE_FORMAT_VERSION, STORE_MAGIC, ResultStore
+from .telemetry import ServiceTelemetry
+from .validation import MAX_GRID_POINTS, SweepSpec, validate_sweep_spec
+
+__all__ = [
+    "ExperimentServer",
+    "ExperimentService",
+    "Job",
+    "MAX_GRID_POINTS",
+    "QuarantineLog",
+    "ResultStore",
+    "STORE_FORMAT_VERSION",
+    "STORE_MAGIC",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceTelemetry",
+    "SweepSpec",
+    "validate_sweep_spec",
+    "wait_until_healthy",
+]

@@ -1,0 +1,192 @@
+"""Persistent content-addressed result store: the cross-run memo cache.
+
+The in-memory config-hash memoization of
+:class:`~repro.experiments.runner.ExperimentRunner` dies with its process.
+This store extends it onto disk: every :class:`ScenarioResult` is filed
+under its scenario's SHA-256 configuration hash
+(:func:`~repro.experiments.runner.scenario_hash`), so *any* later process —
+another sweep, another service replica, a reviewer re-running a grid — gets
+an instant, bit-identical cache hit for an already-simulated grid point.
+
+Three disciplines keep the store trustworthy:
+
+* **Content addressing.**  The file name *is* the configuration hash.  Two
+  scenarios with the same hash are the same simulation, so concurrent
+  writers racing on one key write identical bytes and either winner is
+  correct.
+* **Atomic writes.**  Entries are written to a dot-prefixed temporary file
+  in the destination directory and published with :func:`os.replace`.  A
+  worker killed mid-write leaves at most an invisible temp file — never a
+  partial entry a reader could load.
+* **Versioned envelopes.**  Every entry reuses the checkpoint header
+  discipline of :mod:`repro.simulator.snapshot`: a format magic, a store
+  format version, and the entry's own hash are checked *before* the result
+  payload is interpreted.  Foreign files, corrupt files, and entries from
+  an incompatible store version are refused loudly
+  (:class:`~repro.errors.StoreError`) instead of silently deserialized.
+
+Entries are JSON (not pickle): results are plain floats/ints/strings, JSON
+round-trips finite floats exactly (so cached results stay bit-identical to
+fresh simulations), and the store stays greppable and language-neutral.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..errors import StoreError
+from ..experiments.runner import ScenarioResult
+
+#: Magic string identifying an on-disk result envelope.
+STORE_MAGIC = "repro-sim-result"
+
+#: Bumped when the envelope or result payload changes incompatibly.
+STORE_FORMAT_VERSION = 1
+
+#: Length of a hex SHA-256 configuration hash.
+_HASH_LENGTH = 64
+
+
+def _check_hash(config_hash: str) -> str:
+    """Validate a configuration hash (it becomes a file name — be strict)."""
+    if (
+        not isinstance(config_hash, str)
+        or len(config_hash) != _HASH_LENGTH
+        or any(ch not in "0123456789abcdef" for ch in config_hash)
+    ):
+        raise StoreError(
+            f"invalid configuration hash {config_hash!r}: expected "
+            f"{_HASH_LENGTH} lowercase hex characters"
+        )
+    return config_hash
+
+
+class ResultStore:
+    """A directory of content-addressed, versioned scenario results.
+
+    Entries live at ``<root>/results/<hash[:2]>/<hash>.json`` — sharded on
+    the first hash byte so no single directory grows unboundedly.  The store
+    is safe for concurrent readers and writers across processes.
+    """
+
+    def __init__(self, root: "Path | str") -> None:
+        self.root = Path(root)
+        self._results = self.root / "results"
+        self._results.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, config_hash: str) -> Path:
+        config_hash = _check_hash(config_hash)
+        return self._results / config_hash[:2] / f"{config_hash}.json"
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, config_hash: str) -> bool:
+        return self._path(config_hash).exists()
+
+    def get_envelope(self, config_hash: str) -> Optional[dict]:
+        """The verified envelope for ``config_hash``, or ``None`` if absent.
+
+        The envelope's magic, version, and hash are checked before the
+        result is returned; anything inconsistent raises
+        :class:`~repro.errors.StoreError`.
+        """
+        path = self._path(config_hash)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read store entry {str(path)!r}: {exc}") from exc
+        try:
+            envelope = json.loads(text)
+        except ValueError as exc:
+            raise StoreError(
+                f"store entry {str(path)!r} is not valid JSON ({exc}); the "
+                "store only publishes entries atomically, so this file was "
+                "written by something else"
+            ) from exc
+        if not isinstance(envelope, dict) or envelope.get("format") != STORE_MAGIC:
+            raise StoreError(f"{str(path)!r} is not a {STORE_MAGIC} envelope")
+        if envelope.get("version") != STORE_FORMAT_VERSION:
+            raise StoreError(
+                f"store entry {str(path)!r} has format version "
+                f"{envelope.get('version')!r}; this build reads version "
+                f"{STORE_FORMAT_VERSION}"
+            )
+        if envelope.get("config_hash") != config_hash:
+            raise StoreError(
+                f"store entry {str(path)!r} claims hash "
+                f"{envelope.get('config_hash')!r}; content addressing is "
+                "broken (renamed or tampered file)"
+            )
+        return envelope
+
+    def get(self, config_hash: str) -> Optional[ScenarioResult]:
+        """The stored result for ``config_hash``, or ``None`` if absent."""
+        envelope = self.get_envelope(config_hash)
+        if envelope is None:
+            return None
+        result = envelope.get("result")
+        if not isinstance(result, dict):
+            raise StoreError(
+                f"store entry for {config_hash} carries no result payload"
+            )
+        return ScenarioResult.from_dict(result)
+
+    def hashes(self) -> Iterator[str]:
+        """Every stored configuration hash (unverified — just the names)."""
+        for shard in sorted(self._results.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                if not entry.name.startswith("."):
+                    yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.hashes())
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def put(self, result: ScenarioResult) -> bool:
+        """File ``result`` under its configuration hash.
+
+        Returns ``False`` when an entry already exists (content addressing
+        makes overwriting pointless: same hash, same simulation).  The write
+        is atomic — concurrent writers and killed workers cannot leave a
+        partial entry at the published path.
+        """
+        path = self._path(result.config_hash)
+        if path.exists():
+            return False
+        envelope = {
+            "format": STORE_MAGIC,
+            "version": STORE_FORMAT_VERSION,
+            "config_hash": result.config_hash,
+            "result": result.to_dict(),
+        }
+        payload = json.dumps(envelope, sort_keys=True, indent=1) + "\n"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w") as tmp:
+                tmp.write(payload)
+                tmp.flush()
+                os.fsync(tmp.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return True

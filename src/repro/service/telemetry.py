@@ -1,0 +1,115 @@
+"""Service telemetry: operational counters as first-class state.
+
+The experiment service exposes what it is doing — jobs queued/running/done,
+cache hits by tier, rejections by reason, per-backend simulated wall time —
+as live counters on ``GET /metrics`` instead of post-hoc logs.  Everything
+here is a plain thread-safe counter bundle; the HTTP layer renders one JSON
+snapshot per request.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Dict
+
+
+class ServiceTelemetry:
+    """Thread-safe counter bundle behind ``GET /metrics``.
+
+    Job counters track the queue's lifecycle (``submitted`` =
+    ``queued`` + ``running`` + ``done`` + ``failed`` at all times);
+    scenario counters track where each requested grid point was answered
+    from (fresh simulation vs. the in-memory memo, the persistent result
+    store, or a duplicate inside the same batch); ``backend_wall_time``
+    accumulates the wall-clock seconds *simulated* per backend — cache hits
+    add nothing, which is exactly the point of the cache.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.jobs_submitted = 0
+        self.jobs_queued = 0
+        self.jobs_running = 0
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.jobs_rejected = 0
+        self.scenarios_simulated = 0
+        self.cache_hits: Counter = Counter()  # tier -> hits
+        self.rejections: Counter = Counter()  # code -> rejections
+        self.backend_wall_time: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def job_submitted(self) -> None:
+        with self._lock:
+            self.jobs_submitted += 1
+            self.jobs_queued += 1
+
+    def job_started(self) -> None:
+        with self._lock:
+            self.jobs_queued -= 1
+            self.jobs_running += 1
+
+    def job_finished(self, failed: bool) -> None:
+        with self._lock:
+            self.jobs_running -= 1
+            if failed:
+                self.jobs_failed += 1
+            else:
+                self.jobs_done += 1
+
+    def job_rejected(self, code: str) -> None:
+        with self._lock:
+            self.jobs_rejected += 1
+            self.rejections[code] += 1
+
+    def record_simulated(self, result) -> None:
+        """One grid point was freshly simulated (runner ``on_simulated``)."""
+        with self._lock:
+            self.scenarios_simulated += 1
+            self.backend_wall_time[result.backend] = (
+                self.backend_wall_time.get(result.backend, 0.0) + result.wall_time
+            )
+
+    def record_hit(self, tier: str) -> None:
+        """One grid point was served without simulating (``memory``,
+        ``store``, or ``batch``)."""
+        with self._lock:
+            self.cache_hits[tier] += 1
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """One consistent JSON-ready view of every counter."""
+        with self._lock:
+            hits = dict(self.cache_hits)
+            return {
+                "jobs": {
+                    "submitted": self.jobs_submitted,
+                    "queued": self.jobs_queued,
+                    "running": self.jobs_running,
+                    "done": self.jobs_done,
+                    "failed": self.jobs_failed,
+                    "rejected": self.jobs_rejected,
+                },
+                "scenarios": {
+                    "simulated": self.scenarios_simulated,
+                    "cache_hits_memory": hits.get("memory", 0),
+                    "cache_hits_store": hits.get("store", 0),
+                    "cache_hits_batch": hits.get("batch", 0),
+                    "cache_hits_total": sum(hits.values()),
+                },
+                "rejections": {
+                    "total": sum(self.rejections.values()),
+                    "by_code": dict(sorted(self.rejections.items())),
+                },
+                "backend_wall_time": {
+                    backend: wall
+                    for backend, wall in sorted(self.backend_wall_time.items())
+                },
+            }
