@@ -20,9 +20,15 @@ Each ratio is compared against ``benchmarks/baseline.json``: the gate fails
 when ``current > baseline * tolerance`` (default tolerance 1.3, i.e. a 30%
 relative slowdown of the measured machinery).  A deliberate 2x slowdown of
 the flow simulator roughly doubles every ``flow_mode`` ratio and trips the
-gate on any runner.  The baseline's optional ``tolerance_overrides`` map
-loosens (or tightens) individual identities — keys match exactly or, with a
-trailing ``*``, as a prefix — and is preserved verbatim across ``--update``.
+gate on any runner.  The baseline's optional ``tolerance_overrides`` and
+``slack_overrides`` maps loosen (or tighten) individual identities — keys
+match exactly or, with a trailing ``*``, as a prefix — and both are
+preserved verbatim across ``--update``.  Slack overrides exist for
+identities whose two sides run the *same* code (e.g. the
+``routing_overhead`` default-lane gate): the global absolute slack would
+swamp a tight 1.05x tolerance there, so those identities pin slack to 0,
+and ``--update`` pins their baseline reference at the identity 1.0 (the
+true value by construction) instead of recording one run's noise.
 
 Simulation *results* are also pinned: the flow-mode ``steady_iteration_s``
 values are bitwise-deterministic for a given code version, so they are
@@ -64,6 +70,12 @@ DEFAULT_ABSOLUTE_SLACK = 0.75
 #: Relative tolerance for simulated-time equality (results are deterministic;
 #: this only absorbs printing round-trips).
 STEADY_REL_TOL = 1e-9
+#: Ratio identities whose two sides run the *same* code (e.g. the
+#: routing-policy default lane vs an explicit ``routing_policy="single"``).
+#: Their true ratio is 1.0 by construction, so ``--update`` pins the
+#: reference there instead of recording one run's noise — the measurement
+#: only has to stay under the (tight, zero-slack) tolerance.
+IDENTITY_RATIO_PREFIXES = ("routing_overhead:",)
 
 
 def parse_bench_lines(lines: Iterable[str]) -> List[dict]:
@@ -95,6 +107,10 @@ def distill(records: List[dict]) -> Tuple[Dict[str, float], Dict[str, float]]:
             ratios[f"fork_sweep:{record['backend']}:{record['gpus']}"] = record[
                 "ratio"
             ]
+        elif bench == "routing_overhead":
+            ratios[
+                f"routing_overhead:{record['fabric']}:{record['gpus']}"
+            ] = record["ratio"]
         elif bench == "flow_mode":
             identity = (record["fabric"], record["gpus"])
             flow_walls.setdefault(identity, {})[record["network_mode"]] = record[
@@ -113,12 +129,14 @@ def distill(records: List[dict]) -> Tuple[Dict[str, float], Dict[str, float]]:
 
 
 def tolerance_for(key: str, default: float, overrides: Dict[str, float]) -> float:
-    """Resolve ``key``'s tolerance against per-identity baseline overrides.
+    """Resolve ``key``'s value against per-identity baseline overrides.
 
     An override key either matches exactly or, with a trailing ``*``, as a
     prefix (``"flow_mode:fattree-approx*"`` covers every GPU count of that
     variant).  Exact matches win over prefixes; among prefixes the longest
-    wins, so narrower overrides beat broader ones.
+    wins, so narrower overrides beat broader ones.  Shared by the tolerance
+    and the absolute-slack override maps — the resolution rules are
+    identical.
     """
     exact = overrides.get(key)
     if exact is not None:
@@ -142,16 +160,18 @@ def check(
     matched = 0
     slack = baseline.get("absolute_slack", DEFAULT_ABSOLUTE_SLACK)
     overrides = baseline.get("tolerance_overrides", {})
+    slack_overrides = baseline.get("slack_overrides", {})
     for key, reference in sorted(baseline.get("ratios", {}).items()):
         current = ratios.get(key)
         if current is None:
             continue  # baseline covers more configs than this run measured
         matched += 1
         limit_tolerance = tolerance_for(key, tolerance, overrides)
+        limit_slack = tolerance_for(key, slack, slack_overrides)
         # Slack is capped at the reference itself so small ratios (e.g. the
         # sub-1 allocator ratios) keep a meaningful gate: the limit never
         # exceeds (tolerance + 1) x baseline.
-        limit = reference * limit_tolerance + min(slack, reference)
+        limit = reference * limit_tolerance + min(limit_slack, reference)
         if current > limit:
             failures.append(
                 f"perf regression: {key} ratio {current:.3f} exceeds "
@@ -215,18 +235,27 @@ def main(argv=None) -> int:
         baseline = {
             "tolerance": args.tolerance or DEFAULT_TOLERANCE,
             "absolute_slack": DEFAULT_ABSOLUTE_SLACK,
-            "ratios": {key: round(value, 6) for key, value in sorted(ratios.items())},
+            "ratios": {
+                key: (
+                    1.0
+                    if key.startswith(IDENTITY_RATIO_PREFIXES)
+                    else round(value, 6)
+                )
+                for key, value in sorted(ratios.items())
+            },
             "steady": {
                 key: value for key, value in sorted(steady.items())
             },
         }
-        # Hand-maintained per-identity tolerances (see ``tolerance_for``)
-        # survive a baseline refresh — only the measurements regenerate.
+        # Hand-maintained per-identity tolerances and slacks (see
+        # ``tolerance_for``) survive a baseline refresh — only the
+        # measurements regenerate.
         if args.baseline.exists():
             previous = json.loads(args.baseline.read_text())
-            overrides = previous.get("tolerance_overrides")
-            if overrides:
-                baseline["tolerance_overrides"] = overrides
+            for overrides_key in ("tolerance_overrides", "slack_overrides"):
+                overrides = previous.get(overrides_key)
+                if overrides:
+                    baseline[overrides_key] = overrides
         args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
         print(f"baseline updated: {args.baseline} ({len(ratios)} ratios)")
         return 0

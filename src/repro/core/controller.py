@@ -94,6 +94,202 @@ class RailCircuitState:
         )
 
 
+class ReactiveReconfigurator:
+    """Telemetry-driven reconfiguration state: hotspots and phases, learned live.
+
+    The profile-driven provisioning path knows the phase sequence a priori
+    (it ran a profiling iteration).  The reactive path learns the same two
+    facts *online*, from the completion stream and the telemetry feed,
+    without any profiling iteration:
+
+    * **phase structure** — per rail, how many collective completions one
+      parallelism axis's phase runs for, and which axis follows it
+      (transition counts).  A phase length is learned the first time the
+      axis hands over to a different one; from then on, a completion that
+      reaches the learned run length predicts the most-frequent successor.
+    * **evidence of pain** — the rail is only *armed* for speculative
+      reconfiguration once blocking has actually been observed (an exposed
+      switching delay on the critical path) or the hotspot detector flagged
+      sustained link congestion.  An unarmed rail never speculates: a
+      workload whose switching is already hidden gets no extra events.
+
+    The shim consults this through its completion hook exactly where the
+    profile-driven path consults the :class:`~repro.core.profiles.PhaseTracker`,
+    so both modes share the budget clamp, the circuit guard, and the
+    monotonic issue-time clamp.
+
+    Speculation additionally **self-limits**, at iteration granularity and
+    on the metric that matters: exposed blocking.  Iterations that ran
+    without speculation establish a baseline (the best such iteration's
+    total exposed switching time); an iteration whose speculations left
+    *more* blocking than that baseline demonstrates the online model is
+    mispredicting — tearing circuits the workload wanted costs switches
+    instead of hiding them — so speculation is switched off.  It is
+    retried after a geometrically growing number of quiet iterations (the
+    model keeps learning from the completion stream while suppressed), so
+    a model that comes good after its learning runway earns speculation
+    back within a couple of iterations, while a workload it never predicts
+    right degrades to the no-provisioning behaviour at a vanishing probe
+    cost instead of thrashing below it.
+    """
+
+    #: Quiet iterations before a disabled speculation lane's first probe
+    #: iteration; doubles after every probe that fails to beat the
+    #: no-speculation baseline, resets once a probe succeeds.
+    PROBE_BACKOFF_START = 1
+
+    def __init__(self, min_phase_length: int = 1) -> None:
+        self.min_phase_length = int(min_phase_length)
+        #: Axis currently running per rail, and its completion count so far.
+        self._current_axis: Dict[int, str] = {}
+        self._run_length: Dict[int, int] = {}
+        #: Learned phase length per (rail, axis): completions before handover.
+        self._phase_lengths: Dict[Tuple[int, str], int] = {}
+        #: Successor-transition counts per (rail, axis).
+        self._transitions: Dict[Tuple[int, str], Dict[str, int]] = {}
+        #: Distinct axes seen per rail — the reactive provisioning budget,
+        #: mirroring the profiled path's phases-per-profile clamp.
+        self._axes_seen: Dict[int, Set[str]] = {}
+        #: Rails with observed blocking or hotspot evidence (latched).
+        self._armed: Set[int] = set()
+        #: Iteration-level speculation control (see :meth:`end_iteration`):
+        #: whether the lane is on, this iteration's exposed blocking and
+        #: whether it speculated, the best blocking of any non-speculating
+        #: iteration, and the probe backoff while disabled.
+        self._speculation_enabled = True
+        self._iter_blocking = 0.0
+        self._iter_speculated = False
+        self._baseline_blocking: Optional[float] = None
+        self._quiet_iterations = 0
+        self._probe_wait = self.PROBE_BACKOFF_START
+        #: Totals for reporting/tests.
+        self.blocking_observed = 0.0
+        self.hotspot_events = 0
+
+    # -- evidence ------------------------------------------------------- #
+
+    def note_blocking(self, rail: int, exposed: float) -> None:
+        """An on-demand reconfiguration exposed ``exposed`` seconds on ``rail``."""
+        if exposed > 0.0:
+            self._armed.add(rail)
+            self.blocking_observed += exposed
+            self._iter_blocking += exposed
+
+    def note_hotspots(self, links: Iterable[Tuple[str, str, int]]) -> None:
+        """The hotspot detector flagged sustained congestion; arm every rail."""
+        flagged = list(links)
+        if flagged:
+            self.hotspot_events += 1
+            self._armed.update(self._axes_seen)
+
+    def armed(self, rail: int) -> bool:
+        """Whether ``rail`` has accumulated evidence that switching hurts."""
+        return rail in self._armed
+
+    # -- iteration-level speculation control ---------------------------- #
+
+    def note_speculation(self, rail: int, axis: str) -> None:
+        """A speculative reconfiguration for ``axis`` was issued on ``rail``."""
+        self._iter_speculated = True
+
+    def should_speculate(self, rail: int) -> bool:
+        """Whether the speculation lane is currently on (see class docs)."""
+        return self._speculation_enabled
+
+    def end_iteration(self) -> None:
+        """Close one iteration's books: judge speculation by its blocking.
+
+        Non-speculating iterations tighten the baseline (the best exposed
+        blocking the workload achieves on demand alone) and count toward
+        the probe backoff.  Speculating iterations must not leave more
+        blocking than that baseline: more blocking means the predictions
+        tore circuits the workload wanted, so the lane shuts off and the
+        next probe iteration moves geometrically further out.
+        """
+        if self._iter_speculated:
+            baseline = self._baseline_blocking
+            if baseline is None:
+                # Speculation cannot be judged without an on-demand
+                # reference: run the next iteration quiet to calibrate one.
+                self._speculation_enabled = False
+                self._quiet_iterations = 0
+            elif self._iter_blocking > baseline:
+                self._speculation_enabled = False
+                self._quiet_iterations = 0
+            else:
+                # The probe (or steady speculation) held blocking at or
+                # under the on-demand baseline: the model is predicting.
+                self._probe_wait = self.PROBE_BACKOFF_START
+        else:
+            if (
+                self._baseline_blocking is None
+                or self._iter_blocking < self._baseline_blocking
+            ):
+                self._baseline_blocking = self._iter_blocking
+            if not self._speculation_enabled:
+                self._quiet_iterations += 1
+                if self._quiet_iterations >= self._probe_wait:
+                    self._speculation_enabled = True
+                    self._quiet_iterations = 0
+                    self._probe_wait *= 2
+        self._iter_blocking = 0.0
+        self._iter_speculated = False
+
+    # -- phase learning ------------------------------------------------- #
+
+    def observe_completion(
+        self, rail: int, axis: str, end_time: float
+    ) -> Optional[str]:
+        """Record one collective completion; maybe predict the next axis.
+
+        Returns the predicted successor axis when the current axis's phase
+        has run for at least its learned length (i.e. the phase is complete
+        as far as the online model knows), else ``None``.
+        """
+        current = self._current_axis.get(rail)
+        if current != axis:
+            if current is not None:
+                run = self._run_length.get(rail, 0)
+                if run >= self.min_phase_length:
+                    self._phase_lengths[(rail, current)] = run
+                successors = self._transitions.setdefault((rail, current), {})
+                successors[axis] = successors.get(axis, 0) + 1
+            self._current_axis[rail] = axis
+            self._run_length[rail] = 1
+        else:
+            self._run_length[rail] = self._run_length.get(rail, 0) + 1
+        self._axes_seen.setdefault(rail, set()).add(axis)
+        learned = self._phase_lengths.get((rail, axis))
+        if learned is None or self._run_length[rail] < learned:
+            return None
+        successors = self._transitions.get((rail, axis))
+        if not successors:
+            return None
+        # Most-frequent successor; ties break on axis name for determinism.
+        return min(successors, key=lambda name: (-successors[name], name))
+
+    def budget(self, rail: int) -> int:
+        """Speculative reconfigurations allowed per iteration on ``rail``."""
+        return max(1, len(self._axes_seen.get(rail, ())))
+
+    def reset(self) -> None:
+        """Forget everything (a new job on the same controller)."""
+        self._current_axis.clear()
+        self._run_length.clear()
+        self._phase_lengths.clear()
+        self._transitions.clear()
+        self._axes_seen.clear()
+        self._armed.clear()
+        self._speculation_enabled = True
+        self._iter_blocking = 0.0
+        self._iter_speculated = False
+        self._baseline_blocking = None
+        self._quiet_iterations = 0
+        self._probe_wait = self.PROBE_BACKOFF_START
+        self.blocking_observed = 0.0
+        self.hotspot_events = 0
+
+
 class OpusController:
     """Central controller for every rail's OCS of one job."""
 
@@ -127,6 +323,10 @@ class OpusController:
         #: axis configuration at fabric scale holds thousands of circuits —
         #: rescanning them per collective dominated the control plane.
         self._ensure_cache: Dict[Tuple[int, int], Tuple[CircuitConfiguration, int, float]] = {}
+        #: Telemetry-driven reconfiguration state, attached by reactive-mode
+        #: owners (see :class:`ReactiveReconfigurator`); ``None`` means the
+        #: controller only serves on-demand and profile-provisioned requests.
+        self.reactive: Optional[ReactiveReconfigurator] = None
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
@@ -313,6 +513,8 @@ class OpusController:
             self.fabric.clear_rail(rail)
         self._ensure_cache.clear()
         self.scheduler.reset()
+        if self.reactive is not None:
+            self.reactive.reset()
 
     # ------------------------------------------------------------------ #
     # Internals

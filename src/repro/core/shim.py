@@ -52,6 +52,14 @@ class ShimOptions:
     #: False every communication group gets its own reconfiguration — the
     #: "reconfigure per collective group" ablation.
     coalesce_axis: bool = True
+    #: Drive speculative reconfiguration from live telemetry instead of an
+    #: a-priori profile: phase structure is learned online from the
+    #: completion stream, and speculation only starts once blocking or
+    #: hotspot evidence has accumulated (see
+    #: :class:`~repro.core.controller.ReactiveReconfigurator`).  Usually
+    #: paired with ``provisioning=False`` and ``profile_first_iteration=False``
+    #: — the whole point is needing no profiling iteration.
+    reactive: bool = False
 
 
 @dataclass
@@ -133,6 +141,10 @@ class OpusShim:
         if self.options.profile_first_iteration and not self.profiler.frozen:
             self.profiler.finalize()
             self.tracker.reset()
+        if self.options.reactive and self.controller.reactive is not None:
+            # Close the reactive loop's per-iteration books: speculation is
+            # judged by the blocking it left versus the on-demand baseline.
+            self.controller.reactive.end_iteration()
 
     # ------------------------------------------------------------------ #
     # Collective interception
@@ -176,6 +188,11 @@ class OpusShim:
             if record is not None:
                 exposed = max(0.0, record.end - ready_time)
                 records.append(replace(record, blocking=exposed))
+                if self.options.reactive and self.controller.reactive is not None:
+                    # Blocking on the critical path is the reactive loop's
+                    # primary arming signal: switching demonstrably hurts
+                    # this rail, so hiding it is worth speculating for.
+                    self.controller.reactive.note_blocking(rail, exposed)
 
         buffered = self._provisioned_records
         self._provisioned_records = []
@@ -199,11 +216,40 @@ class OpusShim:
         collective used belongs to a *different* parallelism axis, the shim
         immediately issues a speculative (provisioned) reconfiguration so the
         switching delay overlaps with the upcoming idle window.
+
+        In reactive mode the same decision point runs against the
+        telemetry-driven online model instead of the profile: the learned
+        phase structure comes from the completion stream itself, and the
+        rail must additionally be *armed* by blocking or hotspot evidence.
         """
-        if not self.options.provisioning or not self.profiler.frozen:
-            return
         axis = op.parallelism
         if not axis or not self.mesh.is_scaleout_group(op.group):
+            return
+        if self.options.reactive and self.controller.reactive is not None:
+            reactive = self.controller.reactive
+            for rail in self.mesh.rails_of_group(op.group):
+                predicted = reactive.observe_completion(rail, axis, end_time)
+                if predicted is None or predicted == axis:
+                    continue
+                if not reactive.armed(rail):
+                    # No blocking or hotspot evidence yet: switching is not
+                    # demonstrably hurting this rail, so do not speculate.
+                    continue
+                if not reactive.should_speculate(rail):
+                    # The iteration-level control says speculation has been
+                    # leaving more blocking than on-demand switching alone:
+                    # stay quiet rather than thrash below the
+                    # no-provisioning baseline.
+                    continue
+                if (
+                    self._provisions_this_iteration.get(rail, 0)
+                    >= reactive.budget(rail)
+                ):
+                    continue
+                if self._speculate(rail, predicted, end_time):
+                    reactive.note_speculation(rail, predicted)
+            return
+        if not self.options.provisioning or not self.profiler.frozen:
             return
         rails = self.mesh.rails_of_group(op.group)
         for rail in rails:
@@ -226,30 +272,42 @@ class OpusShim:
                 # never issue more speculative reconfigurations per iteration
                 # than the profile has phases.
                 continue
-            axis_config = self.planner.axis_configuration(predicted)
-            if axis_config is None or rail not in axis_config:
-                continue
-            if self.circuit_guard is not None and not self.circuit_guard(
-                rail, axis_config[rail]
-            ):
-                # Installing the predicted axis would tear a circuit whose
-                # flows are still on the wire (drain time unknown at flow
-                # level).  Skip the speculation; the collective that actually
-                # needs the circuits will request them on demand.
-                continue
-            issue_time = max(end_time, self._last_provision_issue.get(rail, 0.0))
-            self._last_provision_issue[rail] = issue_time
-            request = ReconfigurationRequest.create(
-                group_key=frozenset({-(rail + 1)}),
-                axis=predicted,
-                rails=(rail,),
-                issue_time=issue_time,
-                provisioned=True,
-            )
-            _, record = self.controller.ensure(rail, axis_config[rail], request)
-            self.provision_requests += 1
-            self._provisions_this_iteration[rail] = (
-                self._provisions_this_iteration.get(rail, 0) + 1
-            )
-            if record is not None:
-                self._provisioned_records.append(record)
+            self._speculate(rail, predicted, end_time)
+
+    def _speculate(self, rail: int, predicted: str, end_time: float) -> bool:
+        """Issue one speculative (provisioned) reconfiguration on ``rail``.
+
+        Shared by the profile-driven and reactive paths: planner lookup,
+        live-circuit guard, the monotonic issue-time clamp, and record
+        buffering are identical — only the predictor differs.  Returns
+        whether a request was actually issued (guarded-off speculations
+        must not enter the reactive scorecard).
+        """
+        axis_config = self.planner.axis_configuration(predicted)
+        if axis_config is None or rail not in axis_config:
+            return False
+        if self.circuit_guard is not None and not self.circuit_guard(
+            rail, axis_config[rail]
+        ):
+            # Installing the predicted axis would tear a circuit whose
+            # flows are still on the wire (drain time unknown at flow
+            # level).  Skip the speculation; the collective that actually
+            # needs the circuits will request them on demand.
+            return False
+        issue_time = max(end_time, self._last_provision_issue.get(rail, 0.0))
+        self._last_provision_issue[rail] = issue_time
+        request = ReconfigurationRequest.create(
+            group_key=frozenset({-(rail + 1)}),
+            axis=predicted,
+            rails=(rail,),
+            issue_time=issue_time,
+            provisioned=True,
+        )
+        _, record = self.controller.ensure(rail, axis_config[rail], request)
+        self.provision_requests += 1
+        self._provisions_this_iteration[rail] = (
+            self._provisions_this_iteration.get(rail, 0) + 1
+        )
+        if record is not None:
+            self._provisioned_records.append(record)
+        return True

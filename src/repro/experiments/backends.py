@@ -7,17 +7,21 @@ name.  The registry ships with six backends:
 
 ========== ==================================================================
 ``photonic``   photonic rails driven by the Opus control plane (the paper's
-               proposal; knobs: ``reconfiguration_delay``, ``provisioning``,
+               proposal; knobs: ``reconfiguration_delay``, ``provisioning``
+               — a bool, or ``"profile"``/``"none"``/``"reactive"`` where
+               ``"reactive"`` drives reconfiguration from live telemetry —
                ``technology``, ``network_mode``, ``faults``)
 ``electrical`` fully-connected electrical rails, the Fig. 8 baseline
                (knobs: ``use_tree_collectives``, ``network_mode``,
-               ``faults``)
+               ``routing_policy``, ``faults``)
 ``ideal``      zero-cost network — the communication-free lower bound
                (knobs: ``faults``)
 ``fattree``    transfers routed through the k-ary fat-tree graph (knobs:
-               ``network_mode``, ``oversubscription``, ``faults``)
+               ``network_mode``, ``oversubscription``, ``routing_policy``,
+               ``faults``)
 ``railopt``    transfers routed through the leaf/spine rail-optimized graph
-               (knobs: ``always_spine``, ``network_mode``, ``faults``)
+               (knobs: ``always_spine``, ``network_mode``,
+               ``routing_policy``, ``faults``)
 ``ocs``        bare OCS rails without Opus: every circuit-schedule change
                blocks for the switching delay (knobs:
                ``reconfiguration_delay``, ``technology``, ``network_mode``,
@@ -43,6 +47,13 @@ only; see :class:`~repro.simulator.flows.FlowSimulator`): ε-approximate
 reallocation with deferred-dirty tracking, rate-change event coarsening onto
 a time quantum, and parallel per-component water-filling.  All default to
 off, which is bit-for-bit the exact engine.
+
+The packet-routed backends (``electrical``, ``fattree``, ``railopt``)
+additionally accept a ``routing_policy`` knob in flow mode — ``"single"``
+(default, today's one-path routing), ``"ecmp"`` (deterministic per-flow
+hashing over every equal-cost path), ``"adaptive"`` (least-congested
+equal-cost path at flow start), or ``"spray"`` (split each transfer across
+equal-cost paths as sub-flows); see :mod:`repro.simulator.routing`.
 
 Every backend additionally accepts a ``faults`` knob — a
 :class:`~repro.simulator.faults.FaultPlan` (or its dict/list JSON form) of
@@ -81,7 +92,9 @@ from ..simulator.flow_network import (
     fat_tree_flow_network,
     photonic_flow_network,
     rail_optimized_flow_network,
+    shim_options_for_provisioning,
 )
+from ..simulator.routing import ROUTING_POLICIES
 from ..simulator.network import (
     ElectricalRailNetworkModel,
     IdealNetworkModel,
@@ -233,6 +246,28 @@ def _flow_approx_knobs(
     }
 
 
+def _routing_policy_knob(mode: str, backend: str, routing_policy: object) -> str:
+    """Validate the ``routing_policy`` knob for one backend instantiation.
+
+    Routing policies select paths per flow, so they only exist in flow mode —
+    the analytic models never route individual transfers.  A non-default
+    policy under ``analytic`` is a configuration error rather than a silent
+    no-op, mirroring :func:`_flow_approx_knobs`.
+    """
+    policy = "single" if routing_policy is None else str(routing_policy)
+    if policy not in ROUTING_POLICIES:
+        raise ConfigurationError(
+            f"routing_policy must be one of {ROUTING_POLICIES}, got "
+            f"{routing_policy!r}"
+        )
+    if mode != "flow" and policy != "single":
+        raise ConfigurationError(
+            f"routing_policy={policy!r} only applies to network_mode='flow'; "
+            f"backend {backend!r} is in {mode} mode"
+        )
+    return policy
+
+
 # Fault kinds each backend/mode combination can apply through its ``faults``
 # knob.  Compute slowdowns work everywhere (the executor applies them); link
 # events need a routed topology; OCS port failures need a circuit control
@@ -314,7 +349,7 @@ def _photonic_backend(
     mesh: DeviceMesh,
     registry: Optional[GroupRegistry] = None,
     reconfiguration_delay: Optional[float] = None,
-    provisioning: bool = True,
+    provisioning: object = True,
     technology: Optional[OCSTechnology] = None,
     network_mode: Optional[str] = None,
     faults: object = None,
@@ -326,13 +361,16 @@ def _photonic_backend(
     approx = _flow_approx_knobs(
         mode, "photonic", allocator_epsilon, coarsen_quantum, fill_workers
     )
+    # Validate the provisioning knob (bool, or "profile"/"none"/"reactive")
+    # up front so both modes reject bad values with the same error.
+    shim_options = shim_options_for_provisioning(provisioning)
     if mode == "flow":
         return _install_faults(
             photonic_flow_network(
                 cluster,
                 mesh,
                 reconfiguration_delay=reconfiguration_delay,
-                provisioning=bool(provisioning),
+                provisioning=provisioning,
                 technology=technology,
                 registry=registry,
                 **approx,
@@ -342,10 +380,15 @@ def _photonic_backend(
             "photonic",
             "flow",
         )
+    if shim_options.reactive:
+        raise ConfigurationError(
+            "provisioning='reactive' needs the telemetry loop of "
+            "network_mode='flow'; the analytic photonic model has no "
+            "link-load counters to sample"
+        )
     # Imported lazily: repro.core imports this module back through
     # repro.core.system, so a module-level import would be circular.
     from ..core.network import PhotonicRailNetworkModel
-    from ..core.shim import ShimOptions
     from ..topology.photonic import build_photonic_rail_fabric
 
     fabric = build_photonic_rail_fabric(cluster, technology=technology)
@@ -355,7 +398,7 @@ def _photonic_backend(
             mesh=mesh,
             fabric=fabric,
             reconfiguration_delay=reconfiguration_delay,
-            shim_options=ShimOptions(provisioning=bool(provisioning)),
+            shim_options=shim_options,
             registry=registry,
         ),
         faults,
@@ -368,7 +411,8 @@ def _photonic_backend(
 @backend(
     "electrical",
     "Fully-connected electrical rails (the Fig. 8 baseline)",
-    knobs=("use_tree_collectives", "network_mode", "faults") + FLOW_APPROX_KNOBS,
+    knobs=("use_tree_collectives", "network_mode", "routing_policy", "faults")
+    + FLOW_APPROX_KNOBS,
 )
 def _electrical_backend(
     cluster: ClusterSpec,
@@ -376,6 +420,7 @@ def _electrical_backend(
     registry: Optional[GroupRegistry] = None,
     use_tree_collectives: bool = False,
     network_mode: Optional[str] = None,
+    routing_policy: object = None,
     faults: object = None,
     allocator_epsilon: object = None,
     coarsen_quantum: object = None,
@@ -385,6 +430,7 @@ def _electrical_backend(
     approx = _flow_approx_knobs(
         mode, "electrical", allocator_epsilon, coarsen_quantum, fill_workers
     )
+    policy = _routing_policy_knob(mode, "electrical", routing_policy)
     if mode == "flow":
         if use_tree_collectives:
             raise ConfigurationError(
@@ -392,7 +438,7 @@ def _electrical_backend(
                 "use_tree_collectives is not supported in flow mode"
             )
         return _install_faults(
-            electrical_flow_network(cluster, mesh, **approx),
+            electrical_flow_network(cluster, mesh, routing_policy=policy, **approx),
             faults,
             _LINK_FAULTS,
             "electrical",
@@ -428,7 +474,8 @@ def _ideal_backend(
 @backend(
     "fattree",
     "Packet transfers routed through the k-ary fat-tree graph",
-    knobs=("network_mode", "oversubscription", "faults") + FLOW_APPROX_KNOBS,
+    knobs=("network_mode", "oversubscription", "routing_policy", "faults")
+    + FLOW_APPROX_KNOBS,
 )
 def _fattree_backend(
     cluster: ClusterSpec,
@@ -436,6 +483,7 @@ def _fattree_backend(
     registry: Optional[GroupRegistry] = None,
     network_mode: Optional[str] = None,
     oversubscription: float = 1.0,
+    routing_policy: object = None,
     faults: object = None,
     allocator_epsilon: object = None,
     coarsen_quantum: object = None,
@@ -446,9 +494,14 @@ def _fattree_backend(
     approx = _flow_approx_knobs(
         mode, "fattree", allocator_epsilon, coarsen_quantum, fill_workers
     )
+    policy = _routing_policy_knob(mode, "fattree", routing_policy)
     if mode == "flow":
         model: NetworkModel = fat_tree_flow_network(
-            cluster, mesh, oversubscription=oversubscription, **approx
+            cluster,
+            mesh,
+            oversubscription=oversubscription,
+            routing_policy=policy,
+            **approx,
         )
         return _install_faults(model, faults, _LINK_FAULTS, "fattree", "flow")
     model = FatTreeNetworkModel(cluster, mesh, oversubscription=oversubscription)
@@ -458,7 +511,8 @@ def _fattree_backend(
 @backend(
     "railopt",
     "Packet transfers routed through the leaf/spine rail-optimized graph",
-    knobs=("always_spine", "network_mode", "faults") + FLOW_APPROX_KNOBS,
+    knobs=("always_spine", "network_mode", "routing_policy", "faults")
+    + FLOW_APPROX_KNOBS,
 )
 def _railopt_backend(
     cluster: ClusterSpec,
@@ -466,6 +520,7 @@ def _railopt_backend(
     registry: Optional[GroupRegistry] = None,
     always_spine: bool = True,
     network_mode: Optional[str] = None,
+    routing_policy: object = None,
     faults: object = None,
     allocator_epsilon: object = None,
     coarsen_quantum: object = None,
@@ -475,9 +530,14 @@ def _railopt_backend(
     approx = _flow_approx_knobs(
         mode, "railopt", allocator_epsilon, coarsen_quantum, fill_workers
     )
+    policy = _routing_policy_knob(mode, "railopt", routing_policy)
     if mode == "flow":
         model: NetworkModel = rail_optimized_flow_network(
-            cluster, mesh, always_spine=bool(always_spine), **approx
+            cluster,
+            mesh,
+            always_spine=bool(always_spine),
+            routing_policy=policy,
+            **approx,
         )
         return _install_faults(model, faults, _LINK_FAULTS, "railopt", "flow")
     model = RailOptimizedNetworkModel(cluster, mesh, always_spine=bool(always_spine))

@@ -89,6 +89,7 @@ from ..parallelism.workloads import (
 )
 from ..simulator.executor import SimulationConfig
 from ..topology.devices import ClusterSpec, OCS_CATALOG, dgx_h200_cluster, perlmutter_testbed
+from ..simulator.routing import ROUTING_POLICIES
 from .backends import NETWORK_MODES, all_backends, get_backend
 from .runner import ExperimentRunner, Scenario, ScenarioResult
 
@@ -290,6 +291,16 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         "(shorthand for --knob network_mode=...; every backend except ideal)",
     )
     parser.add_argument(
+        "--routing-policy",
+        choices=ROUTING_POLICIES,
+        default=None,
+        help="flow-mode multipath policy on the packet fabrics: 'single' "
+        "(default one-path routing), 'ecmp' (deterministic per-flow hashing "
+        "over equal-cost paths), 'adaptive' (least-congested equal-cost path "
+        "at flow start), or 'spray' (stripe each transfer across equal-cost "
+        "paths) — shorthand for --knob routing_policy=...",
+    )
+    parser.add_argument(
         "--allocator-epsilon",
         type=float,
         default=None,
@@ -333,6 +344,14 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
                 f"--knob network_mode={existing}"
             )
         knobs["network_mode"] = args.network_mode
+    if getattr(args, "routing_policy", None) is not None:
+        existing = knobs.get("routing_policy")
+        if existing is not None and existing != args.routing_policy:
+            raise ConfigurationError(
+                f"--routing-policy {args.routing_policy} conflicts with "
+                f"--knob routing_policy={existing}"
+            )
+        knobs["routing_policy"] = args.routing_policy
     for flag, knob in (
         ("allocator_epsilon", "allocator_epsilon"),
         ("coarsen_quantum", "coarsen_quantum"),

@@ -213,6 +213,132 @@ def circuit_thrash_scenario(
 
 
 # --------------------------------------------------------------------------- #
+# Routing-policy and reactive-control scenario families
+# --------------------------------------------------------------------------- #
+
+#: Routing policies the adaptive-routing family sweeps.
+ROUTING_SCENARIO_POLICIES = ("single", "ecmp", "adaptive", "spray")
+
+#: Provisioning modes the reactive-vs-profile family contrasts.
+REACTIVE_SCENARIO_MODES = ("profile", "none", "reactive")
+
+
+def adaptive_routing_scenario(
+    routing_policy: str = "single",
+    oversubscription: float = 4.0,
+    num_iterations: int = 2,
+) -> Scenario:
+    """The shared-uplink incast under one multipath routing policy.
+
+    Same traffic as :func:`shared_uplink_incast_scenario` — four concurrent
+    per-rail DP rings funneling through oversubscribed fat-tree uplinks — but
+    run in flow mode under a :mod:`~repro.simulator.routing` policy.  The
+    mini fat-tree's edge switches each have two aggregation uplinks, so every
+    cross-node pair has equal-cost paths for ``ecmp``/``adaptive`` to spread
+    over and ``spray`` to stripe across; ``single`` deterministically picks
+    one and piles every ring onto it.  The test suite asserts multipath never
+    loses to single-path on this incast.
+    """
+    if routing_policy not in ROUTING_SCENARIO_POLICIES:
+        raise ConfigurationError(
+            f"unknown routing policy {routing_policy!r}; "
+            f"use one of {ROUTING_SCENARIO_POLICIES}"
+        )
+    knobs: Dict[str, object] = {
+        "network_mode": "flow",
+        "oversubscription": float(oversubscription),
+    }
+    if routing_policy != "single":
+        # The default policy stays knob-free so the single variant keeps the
+        # configuration hash of a plain flow-mode incast run.
+        knobs["routing_policy"] = routing_policy
+    return Scenario(
+        workload=small_test_workload(pp=1, dp=4, tp=4),
+        cluster=mini_fat_tree_cluster(num_nodes=4),
+        backend="fattree",
+        knobs=knobs,
+        num_iterations=num_iterations,
+        name=f"adaptive-routing-{routing_policy}",
+    )
+
+
+def adaptive_routing_grid(
+    policies: Sequence[str] = ROUTING_SCENARIO_POLICIES,
+    oversubscription: float = 4.0,
+    num_iterations: int = 2,
+) -> List[Scenario]:
+    """The full policy sweep, ready for ``ExperimentRunner.run_many``."""
+    return [
+        adaptive_routing_scenario(
+            routing_policy=policy,
+            oversubscription=oversubscription,
+            num_iterations=num_iterations,
+        )
+        for policy in policies
+    ]
+
+
+def reactive_vs_profile_scenario(
+    mode: str = "profile",
+    num_iterations: int = 6,
+    reconfiguration_delay: float = 1e-3,
+) -> Scenario:
+    """The circuit-thrash workload under one provisioning mode.
+
+    Same alternating DP/EP axes as :func:`circuit_thrash_scenario` — every
+    phase change genuinely needs a different crossbar, so whoever predicts
+    the next axis earliest hides the most switching delay:
+
+    * ``"profile"`` — the paper's design: learn the phase sequence in a
+      dedicated profiling iteration, then provision speculatively from it;
+    * ``"none"`` — never speculate: every phase change pays its switching
+      delay on the critical path (the floor the others must beat);
+    * ``"reactive"`` — no profiling iteration: the telemetry loop learns the
+      phase structure online from the completion stream and only starts
+      speculating once blocking/hotspot evidence has accumulated (see
+      :class:`~repro.core.controller.ReactiveReconfigurator`).
+
+    Six iterations give the reactive controller its learning runway (it
+    speculates from iteration 1–2 on) while keeping the run test-sized.  The
+    test suite asserts reactive lands strictly under ``"none"`` and within a
+    bounded factor of ``"profile"``.
+    """
+    if mode not in REACTIVE_SCENARIO_MODES:
+        raise ConfigurationError(
+            f"unknown provisioning mode {mode!r}; "
+            f"use one of {REACTIVE_SCENARIO_MODES}"
+        )
+    return Scenario(
+        workload=tiny_moe_workload(),
+        cluster=circuit_thrash_cluster(),
+        backend="photonic",
+        knobs={
+            "network_mode": "flow",
+            "reconfiguration_delay": float(reconfiguration_delay),
+            "provisioning": mode,
+        },
+        num_iterations=num_iterations,
+        name=f"reactive-vs-profile-{mode}",
+    )
+
+
+def reactive_vs_profile_grid(
+    modes: Sequence[str] = REACTIVE_SCENARIO_MODES,
+    num_iterations: int = 6,
+    reconfiguration_delay: float = 1e-3,
+) -> List[Scenario]:
+    """All three provisioning modes, ready for ``ExperimentRunner.run_many``."""
+    return [
+        reactive_vs_profile_scenario(
+            mode=mode,
+            num_iterations=num_iterations,
+            reconfiguration_delay=reconfiguration_delay,
+        )
+        for mode in modes
+    ]
+
+
+# --------------------------------------------------------------------------- #
 # Large-scale scenario family (1k / 4k / 10k endpoints)
 # --------------------------------------------------------------------------- #
 

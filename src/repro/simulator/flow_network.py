@@ -55,6 +55,8 @@ from ..topology.railopt import build_rail_optimized_fabric
 from .fabric_network import TopologyNetworkModel
 from .flows import AllocatorStats, FlowSimulator
 from .network import CommTiming
+from .routing import ROUTING_POLICIES, PolicyRouter
+from .telemetry import HotspotDetector, LinkTelemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from ..core.circuits import RailConfiguration
@@ -225,6 +227,7 @@ class FlowNetworkModel(TopologyNetworkModel):
         allocator_epsilon: float = 0.0,
         coarsen_quantum: float = 0.0,
         fill_workers: int = 0,
+        routing_policy: str = "single",
     ) -> None:
         super().__init__(cluster, mesh, topology)
         #: Contention-scaling knobs, handed to every simulator this model
@@ -233,6 +236,22 @@ class FlowNetworkModel(TopologyNetworkModel):
         self.allocator_epsilon = float(allocator_epsilon)
         self.coarsen_quantum = float(coarsen_quantum)
         self.fill_workers = int(fill_workers)
+        #: Multipath routing policy (see :mod:`repro.simulator.routing`).
+        #: ``single`` — the default — takes exactly the pre-policy code path:
+        #: no router is built and every route goes through the plain
+        #: shortest-path table, bit-for-bit.
+        policy = str(routing_policy)
+        if policy not in ROUTING_POLICIES:
+            from ..errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown routing_policy {policy!r}; expected one of "
+                f"{', '.join(ROUTING_POLICIES)}"
+            )
+        self.routing_policy = policy
+        self._router: Optional[PolicyRouter] = (
+            PolicyRouter(self, policy) if policy != "single" else None
+        )
         #: Allocation counters, shared across simulator rebuilds so a whole
         #: training run reports one consistent set of totals.
         self.flow_stats = AllocatorStats()
@@ -291,13 +310,19 @@ class FlowNetworkModel(TopologyNetworkModel):
 
     def _fresh_simulator(self) -> FlowSimulator:
         """A simulator carrying this model's knobs and shared counters."""
-        return FlowSimulator(
+        simulator = FlowSimulator(
             topology=self.topology,
             allocator_epsilon=self.allocator_epsilon,
             coarsen_quantum=self.coarsen_quantum,
             fill_workers=self.fill_workers,
             stats=self.flow_stats,
         )
+        if self._router is not None:
+            # Fault reroutes must stay under the run's routing policy — and
+            # the hook must survive simulator rebuilds (a rewound clock swaps
+            # in a fresh simulator), so it is installed here, not in __init__.
+            simulator.route_policy = self._router.reroute
+        return simulator
 
     def on_iteration_end(self, iteration: int, time: float) -> None:
         if self.fault_injector is not None:
@@ -466,9 +491,23 @@ class FlowNetworkModel(TopologyNetworkModel):
         """
         steps = self._expanded_schedule(operation)
         if not (self.deferred_routes or self._fault_deferred):
-            self._prefetch_routes(steps)
+            if self._router is None:
+                self._prefetch_routes(steps)
+            else:
+                # Policy-routed runs keep their path sets in the router
+                # (version-keyed there), but the cached step items embed the
+                # chosen concrete routes and must drop on a version bump.
+                self._refresh_route_version()
         items = self.step_items(steps)
         _InFlightCollective(self, items, on_complete).launch(start_time)
+
+    def _refresh_route_version(self) -> None:
+        """Drop route-embedding caches when the topology version moved."""
+        version = self.topology.version
+        if version != self._paths_version:
+            self._pair_paths.clear()
+            self._step_items.clear()
+            self._paths_version = version
 
     def step_items(
         self, steps: Schedule
@@ -485,11 +524,16 @@ class FlowNetworkModel(TopologyNetworkModel):
         cached = self._step_items.get(key)
         if cached is not None and cached[0] is steps:
             return cached[1]
-        transfer_path = self.transfer_path
-        items = [
-            [(transfer_path(t), t.size_bytes) for t in step.transfers]
-            for step in steps
-        ]
+        if self._router is not None:
+            items = self._router.step_items_for(
+                steps, self.deferred_routes or self._fault_deferred
+            )
+        else:
+            transfer_path = self.transfer_path
+            items = [
+                [(transfer_path(t), t.size_bytes) for t in step.transfers]
+                for step in steps
+            ]
         if len(self._step_items) >= 1024:
             self._step_items.clear()
         self._step_items[key] = (steps, items)
@@ -596,7 +640,37 @@ class PhotonicFlowNetworkModel(FlowNetworkModel):
         #: Reconfiguration records awaiting pickup, keyed by DAG op id.
         self._op_records: Dict[int, List[ReconfigRecord]] = {}
         self.shim: "OpusShim" = self._build_shim()
+        #: Telemetry loop (reactive mode only): per-link utilization samples
+        #: feeding an EWMA hotspot detector, whose findings arm the
+        #: controller's reactive reconfigurator.
+        self._telemetry: Optional[LinkTelemetry] = None
+        self._hotspots: Optional[HotspotDetector] = None
+        if shim_options is not None and shim_options.reactive:
+            self._attach_reactive()
         fabric.add_circuit_listener(self._on_circuit_change)
+
+    def _attach_reactive(self) -> None:
+        """Build the telemetry loop and hand the controller its reactive state."""
+        from ..core.controller import ReactiveReconfigurator
+
+        self.controller.reactive = ReactiveReconfigurator()
+        self._telemetry = LinkTelemetry(self.simulator)
+        self._hotspots = HotspotDetector(self._telemetry)
+
+    def _observe_telemetry(self, now: float) -> None:
+        """Sample link telemetry and feed hotspot evidence to the controller.
+
+        Driven from collective completions — deterministic, replayable
+        instants when the allocator has just settled — never from periodic
+        wall-clock events.
+        """
+        if self._telemetry is None:
+            return
+        self._telemetry.sample(now)
+        assert self._hotspots is not None
+        hot = self._hotspots.hotspots()
+        if hot and self.controller.reactive is not None:
+            self.controller.reactive.note_hotspots(hot)
 
     def _on_circuit_change(self, event: "CircuitChangeEvent") -> None:
         """React to a circuit install or tear on the fabric.
@@ -670,6 +744,7 @@ class PhotonicFlowNetworkModel(FlowNetworkModel):
             # Real drain feedback: the controller learns when the circuits
             # actually emptied (notify_transfer marks them busy until then),
             # and only afterwards may waiters / provisioning touch them.
+            self._observe_telemetry(end)
             self.shim.notify_transfer(op, launch_at, end)
             self._release_circuits(held, end)
             on_complete(end)
@@ -770,6 +845,11 @@ class PhotonicFlowNetworkModel(FlowNetworkModel):
         self.controller.reset()
         self._op_records.clear()
         self.shim = self._build_shim()
+        if self._telemetry is not None:
+            # Rebind the telemetry loop to the (possibly rebuilt) simulator
+            # and start the reactive state from scratch — a rewound clock is
+            # a new job as far as learned phase structure is concerned.
+            self._attach_reactive()
 
     # ------------------------------------------------------------------ #
     # Live-circuit bookkeeping
@@ -868,6 +948,7 @@ def electrical_flow_network(
     allocator_epsilon: float = 0.0,
     coarsen_quantum: float = 0.0,
     fill_workers: int = 0,
+    routing_policy: str = "single",
 ) -> FlowNetworkModel:
     """Flow-level twin of the fully-connected electrical rail baseline."""
     return FlowNetworkModel(
@@ -877,6 +958,7 @@ def electrical_flow_network(
         allocator_epsilon=allocator_epsilon,
         coarsen_quantum=coarsen_quantum,
         fill_workers=fill_workers,
+        routing_policy=routing_policy,
     )
 
 
@@ -887,6 +969,7 @@ def fat_tree_flow_network(
     allocator_epsilon: float = 0.0,
     coarsen_quantum: float = 0.0,
     fill_workers: int = 0,
+    routing_policy: str = "single",
 ) -> FlowNetworkModel:
     """Flow-level twin of the fat-tree fabric (optionally oversubscribed)."""
     fabric = build_fat_tree_fabric(cluster, oversubscription=oversubscription)
@@ -897,6 +980,7 @@ def fat_tree_flow_network(
         allocator_epsilon=allocator_epsilon,
         coarsen_quantum=coarsen_quantum,
         fill_workers=fill_workers,
+        routing_policy=routing_policy,
     )
 
 
@@ -907,6 +991,7 @@ def rail_optimized_flow_network(
     allocator_epsilon: float = 0.0,
     coarsen_quantum: float = 0.0,
     fill_workers: int = 0,
+    routing_policy: str = "single",
 ) -> FlowNetworkModel:
     """Flow-level twin of the leaf/spine rail-optimized fabric."""
     fabric = build_rail_optimized_fabric(cluster, always_spine=always_spine)
@@ -917,6 +1002,42 @@ def rail_optimized_flow_network(
         allocator_epsilon=allocator_epsilon,
         coarsen_quantum=coarsen_quantum,
         fill_workers=fill_workers,
+        routing_policy=routing_policy,
+    )
+
+
+def shim_options_for_provisioning(provisioning: object) -> "ShimOptions":
+    """Map the ``provisioning`` knob onto shim options.
+
+    Booleans keep their historical meaning (``True`` = profile-driven
+    speculative provisioning, ``False`` = profile but reconfigure on
+    demand); the string values spell the full mode space out:
+
+    * ``"profile"`` — profile the first iteration, then provision from it;
+    * ``"none"`` — profile but never provision (every phase change pays its
+      switching delay on demand);
+    * ``"reactive"`` — no profiling iteration at all: phase structure is
+      learned online and speculation is driven by telemetry (blocking +
+      hotspot evidence).
+    """
+    from ..core.shim import ShimOptions
+    from ..errors import ConfigurationError
+
+    if not isinstance(provisioning, str):
+        return ShimOptions(provisioning=bool(provisioning))
+    if provisioning == "profile":
+        return ShimOptions(provisioning=True)
+    if provisioning == "none":
+        return ShimOptions(provisioning=False)
+    if provisioning == "reactive":
+        return ShimOptions(
+            provisioning=False,
+            profile_first_iteration=False,
+            reactive=True,
+        )
+    raise ConfigurationError(
+        f"unknown provisioning mode {provisioning!r}; expected a boolean or "
+        "one of 'profile', 'none', 'reactive'"
     )
 
 
@@ -924,7 +1045,7 @@ def photonic_flow_network(
     cluster: ClusterSpec,
     mesh: DeviceMesh,
     reconfiguration_delay: Optional[float] = None,
-    provisioning: bool = True,
+    provisioning: Union[bool, str] = True,
     technology: Optional["OCSTechnology"] = None,
     registry: Optional["GroupRegistry"] = None,
     allocator_epsilon: float = 0.0,
@@ -932,15 +1053,13 @@ def photonic_flow_network(
     fill_workers: int = 0,
 ) -> PhotonicFlowNetworkModel:
     """Flow-level photonic rails under the full Opus control plane."""
-    from ..core.shim import ShimOptions
-
     fabric = build_photonic_rail_fabric(cluster, technology=technology)
     return PhotonicFlowNetworkModel(
         cluster,
         mesh,
         fabric=fabric,
         reconfiguration_delay=reconfiguration_delay,
-        shim_options=ShimOptions(provisioning=bool(provisioning)),
+        shim_options=shim_options_for_provisioning(provisioning),
         registry=registry,
         allocator_epsilon=allocator_epsilon,
         coarsen_quantum=coarsen_quantum,

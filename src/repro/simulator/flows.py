@@ -872,6 +872,16 @@ class FlowSimulator(Snapshottable):
         #: fresh route over the surviving topology.  Fault-aware network
         #: models set this from their :class:`~repro.simulator.faults.FaultPlan`.
         self.link_failure_policy: str = "fail"
+        #: Optional route chooser consulted when a rerouted casualty needs a
+        #: fresh path: ``route_policy(src_node, dst_node)`` returns the link
+        #: sequence to move the flow onto.  Network models running a
+        #: non-default routing policy install their policy router here so a
+        #: fault reroute stays under the run's policy (adaptive flows pick
+        #: the least-congested survivor, ECMP flows re-hash over the
+        #: surviving equal-cost set) instead of collapsing onto the
+        #: deterministic shortest path.  ``None`` — the default — preserves
+        #: the original shortest-path reroute bit-for-bit.
+        self.route_policy: Optional[Callable[[str, str], Sequence[Link]]] = None
         #: link_id -> key of every link with at least one active user, so
         #: circuit tear-downs (which only know topology link ids) can find
         #: the flows riding them without scanning the user registry.
@@ -1043,6 +1053,77 @@ class FlowSimulator(Snapshottable):
     def active_flows(self) -> List[Flow]:
         """Flows currently transferring."""
         return sorted(self._active, key=_flow_id_of)
+
+    # ------------------------------------------------------------------ #
+    # Live-load introspection (routing policies, telemetry)
+    # ------------------------------------------------------------------ #
+
+    def link_occupancy(self, key: LinkKey) -> int:
+        """Number of active flows currently riding the link ``key``.
+
+        Read from the user registry, which every code path maintains (unlike
+        the rate sums, which only exist under ε-approximation) — so adaptive
+        route choice sees the same congestion picture whether the competing
+        batches went through the exact solver or the sealed replay lane.
+        Phantom batches are counted without materializing them: reading
+        congestion must not perturb the replay fast path.
+        """
+        users = self._link_users.get(key)
+        if users is None:
+            return 0
+        kind = type(users)
+        if kind is set:
+            return len(users)
+        if kind is _PhantomBatch:
+            count = 0
+            for flow, _epoch in users.members:
+                if flow.finish_time is None:
+                    for link in flow.path:
+                        if link.key == key:
+                            count += 1
+                            break
+            return count
+        return 1
+
+    def link_loads(self) -> Iterable[Tuple[LinkKey, float, int]]:
+        """Yield ``(key, allocated_rate, active_flows)`` per in-use link.
+
+        The telemetry collector's sampling primitive: one pass over the user
+        registry, summing live member rates (infinite rates — empty-path
+        flows never register on links, but a defensive 0 keeps the sums
+        finite).  Phantom batches are expanded read-only into a side
+        accumulator, shared across all of the phantom's links.
+        """
+        phantom_loads: Dict[int, Dict[LinkKey, Tuple[float, int]]] = {}
+        for key, users in self._link_users.items():
+            kind = type(users)
+            if kind is set:
+                rate = 0.0
+                for flow in users:
+                    if not math.isinf(flow.rate):
+                        rate += flow.rate
+                yield key, rate, len(users)
+            elif kind is _PhantomBatch:
+                loads = phantom_loads.get(id(users))
+                if loads is None:
+                    loads = {}
+                    for flow, _epoch in users.members:
+                        if flow.finish_time is not None:
+                            continue
+                        rate = flow.rate if not math.isinf(flow.rate) else 0.0
+                        for link in flow.path:
+                            entry = loads.get(link.key)
+                            loads[link.key] = (
+                                (entry[0] + rate, entry[1] + 1)
+                                if entry is not None
+                                else (rate, 1)
+                            )
+                    phantom_loads[id(users)] = loads
+                rate, count = loads.get(key, (0.0, 0))
+                yield key, rate, count
+            else:
+                rate = users.rate
+                yield key, (0.0 if math.isinf(rate) else rate), 1
 
     # ------------------------------------------------------------------ #
     # Simulation
@@ -1258,6 +1339,8 @@ class FlowSimulator(Snapshottable):
             )
         src, dst = flow.path[0].src, flow.path[-1].dst
         try:
+            if self.route_policy is not None:
+                return tuple(self.route_policy(src, dst))
             return tuple(self.topology.shortest_path(src, dst))
         except TopologyError as exc:
             raise LinkFailedError(

@@ -1,0 +1,138 @@
+"""Link telemetry: operational counters from the flow simulator.
+
+The O&M-metrics line of work shows congestion hotspots can be *detected*
+from operational counters alone — no application cooperation, no packet
+inspection.  The flow-level simulator already computes the ground truth
+those counters approximate (per-link allocated rate and active-flow count,
+refreshed on every allocation pass), so the telemetry loop here is the
+simulation-side analogue:
+
+* :class:`LinkTelemetry` samples per-link utilization (allocated rate over
+  live capacity) and queue pressure (active-flow count) into rolling windows
+  and exponentially-weighted moving averages;
+* :class:`HotspotDetector` flags links whose smoothed utilization has sat
+  above a threshold for enough consecutive samples — the EWMA-threshold
+  detector of the O&M paper.
+
+Samples are driven from the network model's collective-completion hook (a
+deterministic, replayable instant), never from wall-clock timers, so a
+telemetry-driven run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Tuple
+
+from .flows import LinkKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .flows import FlowSimulator
+
+#: Default EWMA smoothing factor (weight of the newest sample).
+DEFAULT_ALPHA = 0.25
+
+#: Default rolling-window length per link, in samples.
+DEFAULT_WINDOW = 32
+
+
+class LinkTelemetry:
+    """Rolling per-link utilization / queue-pressure collector.
+
+    One :meth:`sample` call walks the simulator's live link registry once.
+    Links with no active flows decay toward zero instead of going stale —
+    a hotspot that drained stops being a hotspot within a few samples.
+    """
+
+    def __init__(
+        self,
+        simulator: "FlowSimulator",
+        alpha: float = DEFAULT_ALPHA,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"telemetry alpha must be in (0, 1], got {alpha!r}")
+        if window < 1:
+            raise ValueError(f"telemetry window must be positive, got {window!r}")
+        self.simulator = simulator
+        self.alpha = float(alpha)
+        self.window = int(window)
+        #: Smoothed utilization (allocated rate / capacity) per link.
+        self.utilization: Dict[LinkKey, float] = {}
+        #: Smoothed active-flow count per link.
+        self.pressure: Dict[LinkKey, float] = {}
+        #: Rolling (time, utilization, flows) windows per link.
+        self.windows: Dict[LinkKey, Deque[Tuple[float, float, int]]] = {}
+        #: Consecutive samples each link has spent at-or-above any observer's
+        #: threshold is the observer's business; the collector only counts
+        #: how many samples it has ever taken per link.
+        self.sample_counts: Dict[LinkKey, int] = {}
+        #: Total samples taken.
+        self.samples = 0
+
+    def sample(self, now: float) -> None:
+        """Take one sample of every in-use link at simulated time ``now``."""
+        alpha = self.alpha
+        decay = 1.0 - alpha
+        topology = self.simulator.topology
+        seen: List[LinkKey] = []
+        for key, rate, flows in self.simulator.link_loads():
+            link_id = key[2]
+            if topology is None or not topology.has_link(link_id):
+                continue  # torn/failed links carry no capacity to utilize
+            capacity = topology.link(link_id).bandwidth
+            utilization = rate / capacity if capacity > 0.0 else 0.0
+            seen.append(key)
+            previous = self.utilization.get(key)
+            if previous is None:
+                self.utilization[key] = utilization
+                self.pressure[key] = float(flows)
+                self.windows[key] = deque(maxlen=self.window)
+            else:
+                self.utilization[key] = previous * decay + utilization * alpha
+                self.pressure[key] = (
+                    self.pressure[key] * decay + float(flows) * alpha
+                )
+            self.windows[key].append((now, utilization, flows))
+            self.sample_counts[key] = self.sample_counts.get(key, 0) + 1
+        # Idle links decay: a link absent from the registry has zero load.
+        seen_set = set(seen)
+        for key in self.utilization:
+            if key not in seen_set:
+                self.utilization[key] *= decay
+                self.pressure[key] *= decay
+                self.windows[key].append((now, 0.0, 0))
+                self.sample_counts[key] = self.sample_counts.get(key, 0) + 1
+        self.samples += 1
+
+
+class HotspotDetector:
+    """EWMA-threshold hotspot detection over a :class:`LinkTelemetry` feed.
+
+    A link is a hotspot when its smoothed utilization is at or above
+    ``threshold`` and the collector has at least ``min_samples`` samples for
+    it — one transient spike is not a hotspot, a sustained one is.
+    """
+
+    def __init__(
+        self,
+        telemetry: LinkTelemetry,
+        threshold: float = 0.9,
+        min_samples: int = 2,
+    ) -> None:
+        if threshold <= 0.0:
+            raise ValueError(f"hotspot threshold must be positive, got {threshold!r}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be positive, got {min_samples!r}")
+        self.telemetry = telemetry
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+
+    def hotspots(self) -> List[LinkKey]:
+        """Every current hotspot link, in sorted (deterministic) order."""
+        counts = self.telemetry.sample_counts
+        return sorted(
+            key
+            for key, value in self.telemetry.utilization.items()
+            if value >= self.threshold and counts.get(key, 0) >= self.min_samples
+        )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import copy
 import pickle
+import re
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -35,6 +36,22 @@ from ..errors import SnapshotError, TopologyError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simulator.snapshot import SimState
+
+
+_NATURAL_SPLIT = re.compile(r"(\d+)")
+
+
+def _natural_key(name: str) -> Tuple:
+    """Sort key that orders embedded integers numerically (``sw2`` < ``sw10``).
+
+    Route searches expand neighbors in this order, so tie-breaking is a
+    property of the node *names* rather than of dict insertion order — two
+    topologies with the same nodes and links route identically no matter how
+    they were built.  Numeric runs compare as integers so the order matches
+    the index order every fabric builder already adds nodes in.
+    """
+    parts = _NATURAL_SPLIT.split(name)
+    return tuple(int(part) if part.isdigit() else part for part in parts)
 
 
 class NodeKind(str, Enum):
@@ -126,6 +143,11 @@ class Topology:
         #: endpoints without this.
         self._routing_adjacency: Optional[Dict[str, List[Tuple[str, Link]]]] = None
         self._routing_adjacency_version = -1
+        #: Natural-sorted successor/predecessor name lists for the search
+        #: routines, rebuilt lazily when the version moves.
+        self._search_succ: Optional[Dict[str, List[str]]] = None
+        self._search_pred: Optional[Dict[str, List[str]]] = None
+        self._search_adjacency_version = -1
         #: Links taken out of service by fault injection, restorable by id.
         self._failed_links: Dict[int, Link] = {}
         #: Original bandwidth of links currently degraded below capacity.
@@ -360,6 +382,9 @@ class Topology:
         self._version = max(self._version, payload["version"]) + 1
         self._routing_adjacency = None
         self._routing_adjacency_version = -1
+        self._search_succ = None
+        self._search_pred = None
+        self._search_adjacency_version = -1
 
     def fork(self) -> "Topology":
         """An independent deep copy (links, graph, and health state)."""
@@ -448,23 +473,23 @@ class Topology:
     def shortest_path(self, src: str, dst: str) -> List[Link]:
         """Return one minimum-hop path from ``src`` to ``dst`` as a link list.
 
-        Ties are broken deterministically: the bidirectional search visits
-        neighbors in adjacency insertion order (matching networkx), and
-        parallel links between one node pair resolve to the smallest
-        ``link_id``.  Raises :class:`TopologyError` if no path exists.
+        Ties are broken deterministically as a property of the graph itself:
+        the bidirectional search visits neighbors in natural-sorted name
+        order (see :func:`_natural_key`), and parallel links between one node
+        pair resolve to the smallest ``link_id``.  Raises
+        :class:`TopologyError` if no path exists.
 
-        The search runs directly over the graph's raw successor/predecessor
-        dicts — it is on the route-resolution hot path of the flow-level
-        simulator, where the networkx view wrappers would dominate.
+        The search runs over flattened, version-cached neighbor lists — it
+        is on the route-resolution hot path of the flow-level simulator,
+        where the networkx view wrappers would dominate.
         """
         self._require_node(src)
         self._require_node(dst)
         if src == dst:
             return []
-        graph_succ = self._graph._succ
-        graph_pred = self._graph._pred
+        graph_succ, graph_pred = self._search_lists()
         # Bidirectional BFS, same expansion policy as networkx's
-        # bidirectional_shortest_path so route choice is unchanged.
+        # bidirectional_shortest_path except for the sorted neighbor order.
         pred: Dict[str, Optional[str]] = {src: None}
         succ: Dict[str, Optional[str]] = {dst: None}
         forward_fringe = [src]
@@ -578,7 +603,12 @@ class Topology:
         return result
 
     def _routing_lists(self) -> Dict[str, List[Tuple[str, Link]]]:
-        """The flattened, version-cached adjacency used by route searches."""
+        """The flattened, version-cached adjacency used by route searches.
+
+        Neighbor lists are natural-sorted so BFS parent selection — and with
+        it every tie-break in :meth:`paths_from` — depends only on node
+        names, never on the order links happened to be added.
+        """
         if (
             self._routing_adjacency is None
             or self._routing_adjacency_version != self._version
@@ -588,7 +618,8 @@ class Topology:
             }
             for node, neighbors in self._graph._adj.items():
                 out = adjacency[node]
-                for neighbor, edges in neighbors.items():
+                for neighbor in sorted(neighbors, key=_natural_key):
+                    edges = neighbors[neighbor]
                     if len(edges) == 1:
                         (data,) = edges.values()
                     else:
@@ -597,6 +628,96 @@ class Topology:
             self._routing_adjacency = adjacency
             self._routing_adjacency_version = self._version
         return self._routing_adjacency
+
+    def _search_lists(self) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
+        """Natural-sorted successor/predecessor name lists, version-cached."""
+        if (
+            self._search_succ is None
+            or self._search_adjacency_version != self._version
+        ):
+            self._search_succ = {
+                name: sorted(neighbors, key=_natural_key)
+                for name, neighbors in self._graph._succ.items()
+            }
+            self._search_pred = {
+                name: sorted(neighbors, key=_natural_key)
+                for name, neighbors in self._graph._pred.items()
+            }
+            self._search_adjacency_version = self._version
+        assert self._search_pred is not None
+        return self._search_succ, self._search_pred
+
+    def equal_cost_paths(
+        self, src: str, dst: str, max_paths: Optional[int] = None
+    ) -> List[Tuple[Link, ...]]:
+        """Every minimum-hop path from ``src`` to ``dst``, in a stable order.
+
+        The equal-cost set is enumerated from the shortest-path DAG (an edge
+        ``u -> v`` lies on a minimum-hop path iff
+        ``dist(src, u) + 1 + dist(v, dst)`` equals the shortest distance),
+        walking neighbors in natural-sorted order so the result — including
+        which paths survive a ``max_paths`` truncation — is a deterministic
+        function of the graph.  Parallel links between a node pair resolve to
+        the smallest ``link_id`` exactly like :meth:`shortest_path`, so only
+        distinct node sequences count as distinct paths.  Raises
+        :class:`TopologyError` if no path exists; ``src == dst`` yields the
+        single empty path.
+
+        This is the path-set primitive behind the multipath routing policies
+        (ECMP hashing, adaptive least-congested choice, spray): their
+        determinism rests on this ordering being stable across runs and
+        insertion orders.
+        """
+        self._require_node(src)
+        self._require_node(dst)
+        if src == dst:
+            return [()]
+        succ, pred = self._search_lists()
+        dist_forward: Dict[str, int] = {src: 0}
+        frontier = [src]
+        depth = 0
+        while frontier and dst not in dist_forward:
+            depth += 1
+            next_frontier: List[str] = []
+            for node in frontier:
+                for neighbor in succ[node]:
+                    if neighbor not in dist_forward:
+                        dist_forward[neighbor] = depth
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        if dst not in dist_forward:
+            raise TopologyError(f"no path from {src!r} to {dst!r}")
+        total = dist_forward[dst]
+        dist_back: Dict[str, int] = {dst: 0}
+        frontier = [dst]
+        depth = 0
+        while frontier and depth < total:
+            depth += 1
+            next_frontier = []
+            for node in frontier:
+                for neighbor in pred[node]:
+                    if neighbor not in dist_back:
+                        dist_back[neighbor] = depth
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        adjacency = self._routing_lists()
+        paths: List[Tuple[Link, ...]] = []
+        stack: List[Link] = []
+
+        def descend(node: str, remaining: int) -> bool:
+            if remaining == 0:
+                paths.append(tuple(stack))
+                return max_paths is not None and len(paths) >= max_paths
+            for neighbor, link in adjacency[node]:
+                if dist_back.get(neighbor) == remaining - 1:
+                    stack.append(link)
+                    if descend(neighbor, remaining - 1):
+                        return True
+                    stack.pop()
+            return False
+
+        descend(src, total)
+        return paths
 
     def path_latency(self, path: Sequence[Link]) -> float:
         """Sum of link latencies along ``path``."""

@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.contention import (
+    adaptive_routing_scenario,
     contention_free_scenario,
     degraded_fabric_scenario,
     provisioned_photonic_scenario,
@@ -51,6 +52,12 @@ GOLDEN_CASES = {
         num_iterations=2
     ).with_knobs(
         network_mode="flow", allocator_epsilon=0.1, coarsen_quantum=1e-6
+    ),
+    # ECMP's per-flow hash choices are a fixed integer mix over stable path
+    # enumerations, so the multipath trace is as pinnable as the single-path
+    # one: any drift in hashing, path ordering, or enumeration shows up here.
+    "adaptive_routing_ecmp": lambda: adaptive_routing_scenario(
+        "ecmp", num_iterations=2
     ),
 }
 
@@ -204,5 +211,21 @@ def test_explicit_zero_knobs_reproduce_the_exact_golden_trace():
     produced = json.loads(_canonical(_simulate_training_dict(scenario)))
     expected = json.loads((GOLDEN_DIR / "shared_uplink_flow.json").read_text())
     # The scenario name embeds no knob values; everything else must match.
+    assert produced["iterations"] == expected["iterations"]
+    assert produced["backend"] == expected["backend"]
+
+
+def test_explicit_single_routing_policy_reproduces_the_golden_trace():
+    """routing_policy = 'single' is the pre-knob router, bit-for-bit.
+
+    Same contract as the zero contention-scaling knobs: spelling the default
+    policy out loud must reproduce the committed single-path golden trace
+    down to the last float — the policy lane is a pure opt-in.
+    """
+    scenario = shared_uplink_incast_scenario(num_iterations=2).with_knobs(
+        network_mode="flow", routing_policy="single"
+    )
+    produced = json.loads(_canonical(_simulate_training_dict(scenario)))
+    expected = json.loads((GOLDEN_DIR / "shared_uplink_flow.json").read_text())
     assert produced["iterations"] == expected["iterations"]
     assert produced["backend"] == expected["backend"]

@@ -298,6 +298,136 @@ def test_epsilon_allocation_never_oversubscribes_a_link(seed):
 
 
 # --------------------------------------------------------------------------- #
+# Routing policies: single bit-identity, multipath feasibility, spray sums
+# --------------------------------------------------------------------------- #
+
+
+def _policy_model(policy):
+    """A mini fat-tree flow model (4 nodes, radix-4 switches) under a policy."""
+    from repro.experiments.contention import mini_fat_tree_cluster
+    from repro.parallelism.config import ParallelismConfig
+    from repro.parallelism.mesh import DeviceMesh
+    from repro.simulator.flow_network import fat_tree_flow_network
+
+    cluster = mini_fat_tree_cluster(num_nodes=4)
+    mesh = DeviceMesh(ParallelismConfig(tp=4, dp=4), cluster)
+    return fat_tree_flow_network(cluster, mesh, routing_policy=policy)
+
+
+def _random_rank_transfers(rng, num_ranks=16):
+    transfers = []
+    for _ in range(rng.randint(2, 8)):
+        src, dst = rng.sample(range(num_ranks), 2)
+        size = rng.choice([1e5, 1e6, 1e7]) * rng.randint(1, 9)
+        transfers.append((src, dst, size))
+    return transfers
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_policy_trace_is_bit_identical_to_default(seed):
+    """routing_policy='single' must not perturb a single event time.
+
+    The policy knob's default lane is load-bearing for every committed golden
+    trace: an explicit 'single' takes the identical code path (no router is
+    even instantiated), so seeded random send/recv mixes must replay
+    bit-for-bit — equality on floats, not approx.
+    """
+    from repro.experiments.backends import create_network
+    from repro.experiments.contention import mini_fat_tree_cluster
+    from repro.parallelism.config import ParallelismConfig
+    from repro.parallelism.mesh import DeviceMesh
+    from repro.parallelism.workloads import small_test_workload
+    from repro.simulator.executor import DAGExecutor
+
+    rng = random.Random(seed)
+    cluster = mini_fat_tree_cluster(num_nodes=4)
+    mesh = DeviceMesh(ParallelismConfig(tp=4, dp=4), cluster)
+    workload = small_test_workload(pp=1, dp=4, tp=4)
+    pairs = [(src, dst) for src, dst, _ in _random_rank_transfers(rng)]
+    size = rng.choice([1e6, 1e7])
+
+    def _trace(**knobs):
+        from tests.test_flow_network import _send_recv_dag
+
+        dag = _send_recv_dag(workload, mesh, pairs, size)
+        network = create_network(
+            "fattree", cluster, mesh, network_mode="flow", **knobs
+        )
+        return DAGExecutor(dag, cluster, network).run_training(1)
+
+    default = _trace()
+    explicit = _trace(routing_policy="single")
+    default_records = [
+        (r.tag, r.start, r.end) for r in default.iterations[0].comm_records
+    ]
+    explicit_records = [
+        (r.tag, r.start, r.end) for r in explicit.iterations[0].comm_records
+    ]
+    assert default_records == explicit_records  # bitwise, not approx
+
+
+@pytest.mark.parametrize("policy", ("ecmp", "adaptive"))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_multipath_allocations_never_oversubscribe_a_link(seed, policy):
+    """Policy-chosen paths must stay feasible under max-min fair sharing."""
+    rng = random.Random(seed)
+    model = _policy_model(policy)
+    router = model._router
+    sim = model.simulator
+    transfers = _random_rank_transfers(rng)
+    flows = []
+    paths = []
+    for index, (src, dst, size) in enumerate(transfers):
+        path = router.resolve(src, dst, salt=index)
+        paths.append(path)
+        flows.append(sim.add_flow(path, size, start_time=0.0))
+    sim.engine.run(until=0.0)  # start the flows, allocating rates
+    load, capacity = _per_link_load(
+        [(path, size) for path, (_, _, size) in zip(paths, transfers)],
+        [flow.rate for flow in flows],
+    )
+    for key, total in load.items():
+        assert total <= capacity[key] * (1 + 1e-9), (key, total, capacity[key])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ecmp_resolution_is_deterministic_and_equal_cost(seed):
+    rng = random.Random(seed)
+    model = _policy_model("ecmp")
+    router = model._router
+    for index, (src, dst, _size) in enumerate(_random_rank_transfers(rng)):
+        path_set = router.path_set(src, dst)
+        chosen = router.resolve(src, dst, salt=index)
+        again = router.resolve(src, dst, salt=index)
+        assert chosen is again, "same coordinates must share the path tuple"
+        assert chosen in path_set
+        hops = {len(path) for path in path_set}
+        assert hops == {len(chosen)}, "every candidate must be minimum-hop"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_spray_subflow_sizes_sum_exactly_to_the_transfer_size(seed):
+    from repro.collectives.schedule import Transfer
+
+    rng = random.Random(seed)
+    model = _policy_model("spray")
+    router = model._router
+    for index, (src, dst, size) in enumerate(_random_rank_transfers(rng)):
+        items = router.transfer_items(
+            Transfer(src=src, dst=dst, size_bytes=size),
+            step_index=index,
+            position=0,
+            deferred=False,
+        )
+        assert sum(share for _path, share in items) == size  # bitwise
+        assert all(share > 0.0 for _path, share in items)
+        if len(router.path_set(src, dst)) > 1:
+            assert len(items) > 1, "multipath pairs must actually spray"
+            routes = {tuple(link.link_id for link in path) for path, _ in items}
+            assert len(routes) == len(items), "sub-flows must take distinct paths"
+
+
+# --------------------------------------------------------------------------- #
 # Fork-sweeps vs independent straight runs
 # --------------------------------------------------------------------------- #
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import CircuitConflictError, CircuitError
-from repro.topology.base import NodeKind, nic_port_node_name
+from repro.errors import CircuitConflictError, CircuitError, TopologyError
+from repro.topology.base import LinkKind, NodeKind, Topology, nic_port_node_name
 from repro.topology.devices import dgx_h200_cluster, perlmutter_testbed
 from repro.topology.fattree import build_fat_tree_fabric, fat_tree_inventory
 from repro.topology.ocs import Circuit, CircuitConfiguration, OpticalCircuitSwitch
@@ -81,6 +81,94 @@ def test_rail_optimized_inventory_matches_graph_construction():
     # One leaf per rail suffices for 4 endpoints against a 64-radix switch.
     assert fabric.leaf_switches_per_rail == 1
     assert fabric.spine_switches >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic routing and equal-cost path enumeration
+# --------------------------------------------------------------------------- #
+
+
+def _diamond(order):
+    """A two-tier diamond (s -> m<i> -> t) built in the given middle order."""
+    topo = Topology("diamond")
+    topo.add_node("s", NodeKind.ELECTRICAL_SWITCH)
+    topo.add_node("t", NodeKind.ELECTRICAL_SWITCH)
+    for middle in order:
+        topo.add_node(middle, NodeKind.ELECTRICAL_SWITCH)
+    for middle in order:
+        topo.add_link("s", middle, bandwidth=1.0, latency=0.0, kind=LinkKind.ELECTRICAL)
+        topo.add_link(middle, "t", bandwidth=1.0, latency=0.0, kind=LinkKind.ELECTRICAL)
+    return topo
+
+
+def test_shortest_path_ties_break_by_name_not_insertion_order():
+    middles = ["m1", "m2", "m10", "m3"]
+    forward = _diamond(middles)
+    shuffled = _diamond(list(reversed(middles)))
+    forward_names = [link.dst for link in forward.shortest_path("s", "t")]
+    shuffled_names = [link.dst for link in shuffled.shortest_path("s", "t")]
+    assert forward_names == shuffled_names
+    # Natural order: the digit run compares as an int, so m2 < m10.
+    assert forward_names[0] == "m1"
+
+
+def test_equal_cost_paths_enumerates_all_minimum_hop_paths():
+    topo = _diamond(["m1", "m2", "m3"])
+    paths = topo.equal_cost_paths("s", "t")
+    assert len(paths) == 3
+    assert [path[0].dst for path in paths] == ["m1", "m2", "m3"]
+    hop_count = len(topo.shortest_path("s", "t"))
+    assert all(len(path) == hop_count for path in paths)
+    # The single-path route is the first entry of the equal-cost set.
+    assert list(paths[0]) == topo.shortest_path("s", "t")
+
+
+def test_equal_cost_paths_insertion_order_invariant():
+    middles = ["m1", "m2", "m10", "m3"]
+    forward = _diamond(middles)
+    shuffled = _diamond(list(reversed(middles)))
+    forward_mids = [[link.dst for link in path] for path in forward.equal_cost_paths("s", "t")]
+    shuffled_mids = [[link.dst for link in path] for path in shuffled.equal_cost_paths("s", "t")]
+    assert forward_mids == shuffled_mids
+    assert [mids[0] for mids in forward_mids] == ["m1", "m2", "m3", "m10"]
+
+
+def test_equal_cost_paths_respects_max_paths_and_self_and_missing():
+    topo = _diamond(["m1", "m2", "m3"])
+    truncated = topo.equal_cost_paths("s", "t", max_paths=2)
+    assert len(truncated) == 2
+    assert truncated == topo.equal_cost_paths("s", "t")[:2]
+    assert topo.equal_cost_paths("s", "s") == [()]
+    topo.add_node("island", NodeKind.ELECTRICAL_SWITCH)
+    with pytest.raises(TopologyError):
+        topo.equal_cost_paths("s", "island")
+
+
+def test_equal_cost_paths_excludes_longer_detours():
+    topo = _diamond(["m1", "m2"])
+    # A 3-hop detour must not appear in the 2-hop equal-cost set.
+    topo.add_node("d1", NodeKind.ELECTRICAL_SWITCH)
+    topo.add_node("d2", NodeKind.ELECTRICAL_SWITCH)
+    topo.add_link("s", "d1", bandwidth=1.0, latency=0.0, kind=LinkKind.ELECTRICAL)
+    topo.add_link("d1", "d2", bandwidth=1.0, latency=0.0, kind=LinkKind.ELECTRICAL)
+    topo.add_link("d2", "t", bandwidth=1.0, latency=0.0, kind=LinkKind.ELECTRICAL)
+    paths = topo.equal_cost_paths("s", "t")
+    assert len(paths) == 2
+    assert all(len(path) == 2 for path in paths)
+
+
+def test_fat_tree_has_multiple_equal_cost_cross_domain_paths():
+    # The tiny radix-4 switch forces cross-node routes through the redundant
+    # aggregation tier; the default 64-radix switch would collapse four nodes
+    # onto one edge switch and leave a single path.
+    from repro.experiments.contention import mini_fat_tree_cluster
+
+    topology = build_fat_tree_fabric(mini_fat_tree_cluster(num_nodes=4)).topology
+    paths = topology.equal_cost_paths("gpu0", "gpu4")
+    assert len(paths) >= 2
+    assert list(paths[0]) == topology.shortest_path("gpu0", "gpu4")
+    signatures = {tuple(link.link_id for link in path) for path in paths}
+    assert len(signatures) == len(paths), "equal-cost paths must be distinct"
 
 
 # --------------------------------------------------------------------------- #
